@@ -1,0 +1,72 @@
+"""Ablation: pipeline depth and bus latency sensitivity (paper §7).
+
+The accelerator micro-architecture uses a 3-stage computation pipeline (5 with
+fetch/write) and can be deepened to 11 stages for a higher clock; the CPU
+reaches it through an AXI bus whose blocking read dominates each interaction.
+This ablation sweeps the two parameters of the timing model and reports how
+the modelled decoding latency responds, using the same measured operation
+counts for every configuration.
+
+Expected shape: latency is much more sensitive to the bus read cost than to
+the pipeline depth (which is why the paper offloads the primal phase rather
+than shortening the pipeline), and deeper pipelines only pay off if they come
+with a faster clock.
+"""
+
+from __future__ import annotations
+
+from repro.core import MicroBlossomDecoder
+from repro.evaluation import format_rows
+from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+from repro.latency import AcceleratorTimingModel, MicroBlossomLatencyModel
+
+DISTANCE = 5
+ERROR_RATE = 0.003
+SAMPLES = 15
+PIPELINE_DEPTHS = (5, 8, 11)
+BUS_READ_NANOSECONDS = (80, 150, 300)
+
+
+def bench_ablation_pipeline_and_bus(benchmark):
+    def run():
+        graph = surface_code_decoding_graph(DISTANCE, circuit_level_noise(ERROR_RATE))
+        decoder = MicroBlossomDecoder(graph, stream=True)
+        sampler = SyndromeSampler(graph, seed=2024)
+        counter_sets = []
+        for _ in range(SAMPLES):
+            outcome = decoder.decode_detailed(sampler.sample())
+            counter_sets.append(outcome.post_final_round_counters)
+        rows = []
+        for depth in PIPELINE_DEPTHS:
+            for read_ns in BUS_READ_NANOSECONDS:
+                timing = AcceleratorTimingModel(
+                    distance=DISTANCE,
+                    pipeline_stages=depth,
+                    bus_read_seconds=read_ns * 1e-9,
+                )
+                model = MicroBlossomLatencyModel(DISTANCE, graph.num_edges, timing)
+                mean_us = (
+                    sum(model.latency_seconds(c) for c in counter_sets)
+                    / len(counter_sets)
+                    * 1e6
+                )
+                rows.append(
+                    {
+                        "pipeline_stages": depth,
+                        "bus_read_ns": read_ns,
+                        "mean_latency_us": mean_us,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — pipeline depth and bus read cost vs latency (µs)")
+    print(format_rows(rows, ["pipeline_stages", "bus_read_ns", "mean_latency_us"]))
+    by_key = {(r["pipeline_stages"], r["bus_read_ns"]): r["mean_latency_us"] for r in rows}
+    # Tripling the bus read cost hurts more than doubling the pipeline depth.
+    bus_penalty = by_key[(5, 300)] - by_key[(5, 80)]
+    pipeline_penalty = by_key[(11, 150)] - by_key[(5, 150)]
+    assert bus_penalty > pipeline_penalty
+    # Latency is monotone in both parameters (with the clock held fixed).
+    assert by_key[(5, 80)] <= by_key[(5, 150)] <= by_key[(5, 300)]
+    assert by_key[(5, 150)] <= by_key[(8, 150)] <= by_key[(11, 150)]

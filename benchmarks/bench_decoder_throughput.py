@@ -1,0 +1,95 @@
+"""Throughput/ablation benchmarks of the decoder implementations themselves.
+
+These benches time the actual Python implementations (not the latency models):
+one decode of a batch of syndromes for each decoder, plus an ablation of the
+pre-matching optimisation measured in CPU↔accelerator interactions.  They are
+the "is the simulator itself usable" counterpart to the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core import MicroBlossomDecoder
+from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+from repro.matching import ReferenceDecoder
+from repro.parity import ParityBlossomDecoder
+from repro.unionfind import UnionFindDecoder
+
+DISTANCE = 5
+ERROR_RATE = 0.005
+BATCH = 10
+
+
+def _setup():
+    graph = surface_code_decoding_graph(DISTANCE, circuit_level_noise(ERROR_RATE))
+    sampler = SyndromeSampler(graph, seed=123)
+    syndromes = [sampler.sample() for _ in range(BATCH)]
+    return graph, syndromes
+
+
+def bench_micro_blossom_decoder(benchmark):
+    graph, syndromes = _setup()
+    decoder = MicroBlossomDecoder(graph, stream=True)
+
+    def run():
+        return [decoder.decode(s).weight for s in syndromes]
+
+    weights = benchmark(run)
+    assert len(weights) == BATCH
+
+
+def bench_parity_blossom_decoder(benchmark):
+    graph, syndromes = _setup()
+    decoder = ParityBlossomDecoder(graph)
+
+    def run():
+        return [decoder.decode(s).weight for s in syndromes]
+
+    weights = benchmark(run)
+    assert len(weights) == BATCH
+
+
+def bench_reference_decoder(benchmark):
+    graph, syndromes = _setup()
+    decoder = ReferenceDecoder(graph)
+
+    def run():
+        return [decoder.decode(s).weight for s in syndromes]
+
+    weights = benchmark(run)
+    assert len(weights) == BATCH
+
+
+def bench_union_find_decoder(benchmark):
+    graph, syndromes = _setup()
+    decoder = UnionFindDecoder(graph)
+
+    def run():
+        return [len(decoder.decode_to_correction(s)) for s in syndromes]
+
+    sizes = benchmark(run)
+    assert len(sizes) == BATCH
+
+
+def bench_prematching_ablation(benchmark):
+    """Ablation: pre-matching reduces the CPU-visible Conflict reports."""
+    graph, syndromes = _setup()
+    with_prematch = MicroBlossomDecoder(graph, enable_prematching=True)
+    without_prematch = MicroBlossomDecoder(graph, enable_prematching=False)
+
+    def run():
+        conflicts_with = sum(
+            with_prematch.decode_detailed(s).counters["conflicts_reported"]
+            for s in syndromes
+        )
+        conflicts_without = sum(
+            without_prematch.decode_detailed(s).counters["conflicts_reported"]
+            for s in syndromes
+        )
+        return conflicts_with, conflicts_without
+
+    conflicts_with, conflicts_without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nPre-matching ablation: {conflicts_without} Conflicts reach the CPU "
+        f"without pre-matching vs {conflicts_with} with it."
+    )
+    assert conflicts_with <= conflicts_without

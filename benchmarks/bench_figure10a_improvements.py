@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 10a: contribution of each key idea.
+
+The paper stacks its three ideas on top of the software baseline — parallel
+dual phase (§4), parallel primal phase / pre-matching (§5), round-wise fusion
+(§6) — and reports how much each contributes to the 17x overall latency
+reduction at p = 0.1%.
+
+Paper shape to reproduce: at the larger code distances every added idea
+reduces the average latency further, with the full configuration giving the
+largest overall speedup over the CPU baseline.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_rows, improvement_breakdown
+
+DISTANCES = (5, 7)
+PHYSICAL_ERROR_RATE = 0.002
+SAMPLES = 15
+
+
+def bench_figure10a_improvement_breakdown(benchmark):
+    rows = benchmark.pedantic(
+        improvement_breakdown,
+        kwargs={
+            "distances": DISTANCES,
+            "physical_error_rate": PHYSICAL_ERROR_RATE,
+            "samples": SAMPLES,
+            "seed": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 10a — latency of each decoder configuration (µs)")
+    print(
+        format_rows(
+            rows,
+            ["configuration", "distance", "mean_latency_us", "speedup_vs_cpu"],
+        )
+    )
+    largest = max(DISTANCES)
+    at_largest = {r["configuration"]: r for r in rows if r["distance"] == largest}
+    full = at_largest["+ round-wise fusion"]
+    baseline = at_largest["parity-blossom (CPU)"]
+    assert full["mean_latency_us"] < baseline["mean_latency_us"], (
+        "the full Micro Blossom configuration must beat the CPU baseline at the "
+        "largest benchmarked distance"
+    )
+    # Pre-matching must not be slower than the dual-phase-only configuration.
+    assert (
+        at_largest["+ parallel primal phase"]["mean_latency_us"]
+        <= at_largest["+ parallel dual phase"]["mean_latency_us"] * 1.05
+    )

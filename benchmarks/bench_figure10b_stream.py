@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 10b: batch vs stream decoding latency.
+
+With round-wise fusion the decoder only has a constant amount of work left
+when the final measurement round arrives, so the decoding latency stays flat
+as the number of measurement rounds grows, while batch decoding grows roughly
+linearly (the paper reports 1.6x–2.5x at d = 9).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_rows, stream_vs_batch
+
+DISTANCE = 5
+PHYSICAL_ERROR_RATE = 0.004
+ROUNDS = (2, 4, 6, 8, 10)
+SAMPLES = 12
+
+
+def bench_figure10b_stream_vs_batch(benchmark):
+    rows = benchmark.pedantic(
+        stream_vs_batch,
+        kwargs={
+            "distance": DISTANCE,
+            "physical_error_rate": PHYSICAL_ERROR_RATE,
+            "rounds_list": ROUNDS,
+            "samples": SAMPLES,
+            "seed": 4,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 10b — batch vs stream latency at d={DISTANCE} (µs)")
+    print(format_rows(rows, ["rounds", "batch_latency_us", "stream_latency_us"]))
+    first, last = rows[0], rows[-1]
+    batch_growth = last["batch_latency_us"] / first["batch_latency_us"]
+    stream_growth = last["stream_latency_us"] / first["stream_latency_us"]
+    assert batch_growth > stream_growth, (
+        "batch latency must grow faster with the number of rounds than stream "
+        f"latency (batch x{batch_growth:.2f} vs stream x{stream_growth:.2f})"
+    )
+    assert last["stream_latency_us"] <= last["batch_latency_us"]

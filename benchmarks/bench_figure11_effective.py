@@ -1,0 +1,86 @@
+"""Benchmark regenerating Figure 11: effective logical error rate grid.
+
+Figure 11 compares Helios (hardware Union-Find), Parity Blossom (software
+MWPM) and Micro Blossom by the *additional* logical error they cause relative
+to a zero-latency MWPM decoder, ``p_eff / p_MWPM - 1``, across the (p, d)
+grid.  The effective error rate folds in both decoder accuracy and the idle
+errors accumulated while waiting for the decoded result (§8.3).
+
+Paper shape to reproduce: Micro Blossom achieves the lowest ratio over most of
+the grid; the software decoder is competitive only at the smallest p·d corner
+(where its latency is negligible), and Helios only at the largest p·d corner
+(where even the accelerated MWPM decoder becomes slow).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import effective_error_grid, format_rows
+
+DISTANCES = (3, 5, 7, 9, 11, 13, 15)
+ERROR_RATES = (0.0001, 0.0005, 0.001, 0.005)
+
+
+def bench_figure11_effective_error_grid(benchmark):
+    rows = benchmark.pedantic(
+        effective_error_grid,
+        kwargs={"distances": DISTANCES, "error_rates": ERROR_RATES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 11 — additional logical error ratio p_eff / p_MWPM - 1")
+    print(
+        format_rows(
+            rows,
+            [
+                "distance",
+                "physical_error_rate",
+                "helios_ratio",
+                "parity-blossom_ratio",
+                "micro-blossom_ratio",
+                "best_decoder",
+            ],
+        )
+    )
+    by_key = {(row["distance"], row["physical_error_rate"]): row for row in rows}
+    winners = {row["best_decoder"] for row in rows}
+    # Micro Blossom dominates the bulk of the grid ...
+    micro_wins = sum(1 for row in rows if row["best_decoder"] == "micro-blossom")
+    assert micro_wins >= len(rows) // 2
+    # ... the software decoder is only competitive at the low-p/low-d corner ...
+    corner = by_key[(3, min(ERROR_RATES))]
+    assert corner["parity-blossom_ratio"] < corner["helios_ratio"]
+    # ... and the Union-Find decoder's penalty grows with distance.
+    assert (
+        by_key[(15, 0.001)]["helios_ratio"] > by_key[(3, 0.001)]["helios_ratio"]
+    )
+    assert winners <= {"helios", "parity-blossom", "micro-blossom"}
+
+
+def bench_figure11_with_monte_carlo_calibration(benchmark):
+    """Same grid, but with the scaling laws calibrated by Monte Carlo."""
+    rows = benchmark.pedantic(
+        effective_error_grid,
+        kwargs={
+            "distances": (3, 9, 15),
+            "error_rates": (0.0005, 0.005),
+            "calibration_samples": 150,
+            "seed": 17,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 11 (Monte-Carlo calibrated subset)")
+    print(
+        format_rows(
+            rows,
+            [
+                "distance",
+                "physical_error_rate",
+                "mwpm_logical_error_rate",
+                "helios_ratio",
+                "parity-blossom_ratio",
+                "micro-blossom_ratio",
+            ],
+        )
+    )
+    assert all(row["mwpm_logical_error_rate"] <= 1.0 for row in rows)

@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 2: dual vs primal CPU time of Parity Blossom.
+
+The paper motivates the accelerator by showing that the dual phase dominates
+the CPU time of the software MWPM decoder, so accelerating it gives an Amdahl
+potential speedup that grows with the code distance.  This benchmark runs the
+instrumented Parity Blossom decoder across code distances and prints the dual
+fraction and the potential speedup for each.
+
+Paper shape to reproduce: the dual-phase fraction rises with the code distance
+(from roughly half of the CPU time at d = 3 towards ~85% at d = 15) and so
+does the potential speedup.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import amdahl_profile, format_rows
+
+DISTANCES = (3, 5, 7)
+PHYSICAL_ERROR_RATE = 0.002
+SAMPLES = 20
+
+
+def bench_figure2_amdahl_profile(benchmark):
+    rows = benchmark.pedantic(
+        amdahl_profile,
+        kwargs={
+            "distances": DISTANCES,
+            "physical_error_rate": PHYSICAL_ERROR_RATE,
+            "samples": SAMPLES,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 2 — Parity Blossom CPU time split and Amdahl bound")
+    print(
+        format_rows(
+            rows, ["distance", "dual_fraction", "primal_fraction", "potential_speedup"]
+        )
+    )
+    fractions = [row["dual_fraction"] for row in rows]
+    assert fractions == sorted(fractions), "dual share should grow with distance"
+    assert all(row["potential_speedup"] > 1.0 for row in rows)

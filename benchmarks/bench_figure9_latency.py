@@ -1,0 +1,96 @@
+"""Benchmarks regenerating Figure 9: decoding latency of Micro Blossom.
+
+Top row of the figure: average decoding latency versus physical error rate for
+several code distances, Parity Blossom (CPU) against Micro Blossom (FPGA
+model).  Bottom row: the latency *distribution* at a fixed configuration,
+summarised by the k-tolerant cutoff latencies and an exponential tail fit.
+
+Paper shapes to reproduce:
+* Micro Blossom's average latency is far less sensitive to the physical error
+  rate than the software baseline (O(p²d²+1) vs O(pd³+1)) and stays around or
+  below a microsecond at p = 0.1%;
+* the software baseline overtakes Micro Blossom only at the smallest
+  distances/error rates where its own latency approaches its constant floor;
+* Micro Blossom's latency tail is exponentially bounded, with k-cutoff
+  latencies orders of magnitude below the software baseline's.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_rows, latency_distribution, latency_sweep
+
+SWEEP_DISTANCES = (3, 5, 7)
+SWEEP_ERROR_RATES = (0.0005, 0.001, 0.005)
+SWEEP_SAMPLES = 12
+
+DISTRIBUTION_DISTANCE = 5
+DISTRIBUTION_ERROR_RATE = 0.001
+DISTRIBUTION_SAMPLES = 120
+
+
+def bench_figure9_average_latency(benchmark):
+    rows = benchmark.pedantic(
+        latency_sweep,
+        kwargs={
+            "distances": SWEEP_DISTANCES,
+            "error_rates": SWEEP_ERROR_RATES,
+            "samples": SWEEP_SAMPLES,
+            "seed": 1,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 9 (top) — average decoding latency (µs)")
+    print(
+        format_rows(
+            rows,
+            [
+                "decoder",
+                "distance",
+                "physical_error_rate",
+                "mean_latency_us",
+                "mean_defects",
+            ],
+        )
+    )
+    # Shape check: at the largest distance and error rate in the sweep the
+    # hardware-accelerated decoder must beat the software baseline.
+    largest = [
+        row
+        for row in rows
+        if row["distance"] == max(SWEEP_DISTANCES)
+        and row["physical_error_rate"] == max(SWEEP_ERROR_RATES)
+    ]
+    parity = next(r for r in largest if r["decoder"] == "parity-blossom")
+    micro = next(r for r in largest if r["decoder"] == "micro-blossom")
+    assert micro["mean_latency_us"] < parity["mean_latency_us"]
+
+
+def bench_figure9_latency_distribution(benchmark):
+    result = benchmark.pedantic(
+        latency_distribution,
+        kwargs={
+            "distance": DISTRIBUTION_DISTANCE,
+            "physical_error_rate": DISTRIBUTION_ERROR_RATE,
+            "samples": DISTRIBUTION_SAMPLES,
+            "seed": 2,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nFigure 9 (bottom) — latency distribution at d={DISTRIBUTION_DISTANCE}, "
+        f"p={DISTRIBUTION_ERROR_RATE}"
+    )
+    for name in ("parity-blossom", "micro-blossom"):
+        entry = result[name]
+        cutoffs = ", ".join(
+            f"L(k={k})={value:.2f}µs" for k, value in sorted(entry["cutoffs_us"].items())
+        )
+        print(
+            f"  {name:>16}: mean={entry['average_latency_us']:.2f}µs  "
+            f"p99={entry['p99_latency_us']:.2f}µs  max={entry['max_latency_us']:.2f}µs  {cutoffs}"
+        )
+    micro = result["micro-blossom"]
+    assert micro["max_latency_us"] < result["parity-blossom"]["max_latency_us"] * 50
+    assert micro["average_latency_us"] <= micro["p99_latency_us"] <= micro["max_latency_us"]

@@ -1,0 +1,94 @@
+"""Benchmark regenerating Table 4: resource usage and maximum clock frequency.
+
+The analytical resource model derives per-PU memory, total FPGA memory, LUT
+usage and achievable clock frequency for every code distance, and is checked
+against the published Table 4 values.
+
+Paper shape to reproduce: resource usage grows as O(d³ polylog d), the VMK180
+board runs out of LUTs just beyond d = 15, and the maximum clock frequency
+decreases with the code distance.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_rows, resource_usage_table
+from repro.resources import VMK180_LUTS, maximum_distance_for_luts
+
+DISTANCES = (3, 5, 7, 9, 11, 13, 15)
+
+
+def bench_table4_resource_usage(benchmark):
+    rows = benchmark.pedantic(
+        resource_usage_table, kwargs={"distances": DISTANCES}, rounds=1, iterations=1
+    )
+    print("\nTable 4 — resource usage and maximum clock frequency")
+    print(
+        format_rows(
+            rows,
+            [
+                "distance",
+                "num_vertices",
+                "num_edges",
+                "vpu_bits",
+                "paper_vpu_bits",
+                "cpu_memory_kb",
+                "fpga_memory_kbits",
+                "luts",
+                "paper_luts",
+                "clock_mhz",
+                "paper_freq_mhz",
+            ],
+        )
+    )
+    for row in rows:
+        if row["paper_luts"]:
+            assert abs(row["luts"] - row["paper_luts"]) / row["paper_luts"] < 0.25
+        if row["paper_freq_mhz"]:
+            assert row["clock_mhz"] == row["paper_freq_mhz"]
+    luts = [row["luts"] for row in rows]
+    assert luts == sorted(luts)
+    assert maximum_distance_for_luts(VMK180_LUTS) == 15
+
+
+def bench_table4_our_graph_sizes(benchmark):
+    """Resource estimates for the decoding graphs actually built here."""
+    from repro.evaluation.experiments import build_graph
+    from repro.resources import estimate_resources
+
+    def run():
+        rows = []
+        for distance in (3, 5, 7, 9):
+            graph = build_graph(distance, 0.001)
+            estimate = estimate_resources(
+                distance,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+            )
+            rows.append(
+                {
+                    "distance": distance,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    "luts": estimate.luts,
+                    "fpga_memory_kbits": estimate.fpga_memory_kbits,
+                    "clock_mhz": estimate.clock_frequency_mhz,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nTable 4 (our decoding graphs) — resource estimates")
+    print(
+        format_rows(
+            rows,
+            [
+                "distance",
+                "num_vertices",
+                "num_edges",
+                "luts",
+                "fpga_memory_kbits",
+                "clock_mhz",
+            ],
+        )
+    )
+    assert all(row["luts"] > 0 for row in rows)

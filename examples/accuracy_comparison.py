@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Accuracy comparison: exact MWPM decoding vs the Union-Find approximation.
+
+The reason the paper insists on *exact* MWPM decoding is accuracy: approximate
+decoders such as Union-Find (Helios) trade logical error rate for speed
+(§1, §8.3).  This example estimates the logical error rate of
+
+* the Micro Blossom decoder (exact MWPM — identical accuracy to Parity and
+  Sparse Blossom),
+* the Union-Find decoder,
+
+by Monte Carlo on small code distances, and reports the accuracy penalty of
+the approximation together with the effective logical error rate once the
+modelled decoding latency is taken into account (Figure 11's metric).
+
+Run::
+
+    python examples/accuracy_comparison.py --distances 3 5 --samples 400
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import MicroBlossomDecoder
+from repro.evaluation import estimate_logical_error_rate, format_rows
+from repro.graphs import circuit_level_noise, surface_code_decoding_graph
+from repro.latency import (
+    EffectiveErrorRate,
+    HeliosLatencyModel,
+    MicroBlossomLatencyModel,
+)
+from repro.unionfind import UnionFindDecoder
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    parser.add_argument("--error-rate", type=float, default=0.02)
+    parser.add_argument("--samples", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print(
+        f"== MWPM vs Union-Find accuracy (p={args.error_rate}, "
+        f"{args.samples} samples per point) =="
+    )
+    rows = []
+    for distance in args.distances:
+        graph = surface_code_decoding_graph(
+            distance, circuit_level_noise(args.error_rate)
+        )
+        mwpm = estimate_logical_error_rate(
+            graph, MicroBlossomDecoder(graph), args.samples, seed=args.seed
+        )
+        union_find = estimate_logical_error_rate(
+            graph, UnionFindDecoder(graph), args.samples, seed=args.seed
+        )
+        penalty = (union_find.rate / mwpm.rate) if mwpm.rate else float("nan")
+
+        micro_latency = MicroBlossomLatencyModel(
+            distance, graph.num_edges
+        ).expected_latency_seconds(1.0, graph.num_layers)
+        helios_latency = HeliosLatencyModel().latency_seconds(distance)
+        mwpm_effective = EffectiveErrorRate(mwpm.rate, micro_latency, distance)
+        uf_effective = EffectiveErrorRate(union_find.rate, helios_latency, distance)
+        rows.append(
+            {
+                "distance": distance,
+                "mwpm_logical_error_rate": mwpm.rate,
+                "union_find_logical_error_rate": union_find.rate,
+                "uf_accuracy_penalty": penalty,
+                "mwpm_effective": mwpm_effective.value,
+                "union_find_effective": uf_effective.value,
+            }
+        )
+    print(
+        format_rows(
+            rows,
+            [
+                "distance",
+                "mwpm_logical_error_rate",
+                "union_find_logical_error_rate",
+                "uf_accuracy_penalty",
+                "mwpm_effective",
+                "union_find_effective",
+            ],
+        )
+    )
+    print(
+        "\nThe Union-Find decoder is faster but less accurate; the paper's point"
+        "\nis that Micro Blossom removes the latency penalty of exact MWPM"
+        "\ndecoding, so its effective error rate wins in most of the (p, d) grid."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Resource planning: which code distance fits on which FPGA (Table 4, §8.4).
+
+The Micro Blossom accelerator instantiates one processing unit per vertex and
+per edge of the decoding graph, so its size grows as O(d³ polylog d).  This
+example regenerates the paper's Table 4 from the analytical resource model,
+compares it against the published numbers, and answers the two §8.4 planning
+questions: the largest distance supported by a given LUT budget and the clock
+frequency needed for sub-microsecond decoding.
+
+Run::
+
+    python examples/resource_planning.py --distances 3 5 7 9 11 13 15 17
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import format_rows, resource_usage_table
+from repro.resources import (
+    VMK180_LUTS,
+    VP1902_LUTS,
+    maximum_distance_for_luts,
+    minimum_frequency_for_sub_microsecond,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--distances", type=int, nargs="+", default=[3, 5, 7, 9, 11, 13, 15]
+    )
+    parser.add_argument(
+        "--lut-budget",
+        type=int,
+        default=None,
+        help="optional custom LUT budget to plan for",
+    )
+    args = parser.parse_args()
+
+    print("== Micro Blossom accelerator resource model (Table 4) ==")
+    rows = resource_usage_table(args.distances)
+    print(
+        format_rows(
+            rows,
+            [
+                "distance",
+                "num_vertices",
+                "num_edges",
+                "vpu_bits",
+                "fpga_memory_kbits",
+                "luts",
+                "paper_luts",
+                "clock_mhz",
+            ],
+        )
+    )
+
+    print("\n== Planning ==")
+    boards = [("VMK180", VMK180_LUTS), ("VP1902", VP1902_LUTS)]
+    if args.lut_budget:
+        boards.append(("custom budget", args.lut_budget))
+    for name, luts in boards:
+        distance = maximum_distance_for_luts(luts)
+        print(f"{name:>14} ({luts:>9,} LUTs): supports up to d = {distance}")
+    for distance in (13, 15, 21, 31):
+        frequency = minimum_frequency_for_sub_microsecond(distance)
+        print(
+            f"sub-µs decoding at d = {distance:>2} needs a clock of at least "
+            f"{frequency:6.1f} MHz"
+        )
+
+
+if __name__ == "__main__":
+    main()

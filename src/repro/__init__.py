@@ -1,0 +1,25 @@
+"""repro: a Python reproduction of Micro Blossom (ASPLOS 2025).
+
+Micro Blossom is a heterogeneous architecture for exact Minimum-Weight Perfect
+Matching (MWPM) decoding of surface-code syndromes with sub-microsecond
+latency.  This package provides:
+
+* decoding-graph construction for surface/repetition codes under
+  code-capacity, phenomenological, and circuit-level noise (:mod:`repro.graphs`);
+* an exact reference MWPM decoder on the syndrome graph (:mod:`repro.matching`);
+* the Micro Blossom architecture — a behavioural simulator of the
+  vertex/edge-parallel dual-phase accelerator, the software primal module, the
+  isolated-Conflict pre-matching offload, and round-wise fusion
+  (:mod:`repro.core`);
+* the Parity Blossom software baseline (:mod:`repro.parity`) and a Union-Find
+  decoder baseline (:mod:`repro.unionfind`);
+* latency / resource models and the Monte-Carlo evaluation harness that
+  regenerate every table and figure of the paper's evaluation
+  (:mod:`repro.latency`, :mod:`repro.resources`, :mod:`repro.evaluation`).
+"""
+
+__version__ = "1.0.0"
+
+from . import graphs
+
+__all__ = ["graphs", "__version__"]

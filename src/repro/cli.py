@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the most common workflows without writing any Python:
+
+* ``decode``     — sample and decode syndromes, verifying exactness;
+* ``experiment`` — run one of the paper's experiments and print its table;
+* ``resources``  — print the Table 4 resource model;
+* ``accuracy``   — Monte-Carlo logical error rate of a decoder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import MicroBlossomDecoder
+from .evaluation import (
+    amdahl_profile,
+    effective_error_grid,
+    estimate_logical_error_rate,
+    format_rows,
+    improvement_breakdown,
+    latency_sweep,
+    resource_usage_table,
+    stream_vs_batch,
+)
+from .graphs import SyndromeSampler, noise_model_by_name, surface_code_decoding_graph
+from .matching import ReferenceDecoder
+from .parity import ParityBlossomDecoder
+from .unionfind import UnionFindDecoder
+
+EXPERIMENTS = {
+    "figure2": (
+        amdahl_profile,
+        ["distance", "dual_fraction", "primal_fraction", "potential_speedup"],
+    ),
+    "figure9": (
+        latency_sweep,
+        ["decoder", "distance", "physical_error_rate", "mean_latency_us"],
+    ),
+    "figure10a": (
+        improvement_breakdown,
+        ["configuration", "distance", "mean_latency_us", "speedup_vs_cpu"],
+    ),
+    "figure10b": (
+        stream_vs_batch,
+        ["rounds", "batch_latency_us", "stream_latency_us"],
+    ),
+    "figure11": (
+        effective_error_grid,
+        [
+            "distance",
+            "physical_error_rate",
+            "helios_ratio",
+            "parity-blossom_ratio",
+            "micro-blossom_ratio",
+            "best_decoder",
+        ],
+    ),
+    "table4": (
+        resource_usage_table,
+        ["distance", "num_vertices", "num_edges", "luts", "paper_luts", "clock_mhz"],
+    ),
+}
+
+DECODERS = {
+    "micro-blossom": lambda graph: MicroBlossomDecoder(graph, stream=True),
+    "micro-blossom-batch": lambda graph: MicroBlossomDecoder(graph, stream=False),
+    "parity-blossom": ParityBlossomDecoder,
+    "reference": ReferenceDecoder,
+    "union-find": UnionFindDecoder,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Micro Blossom reproduction: MWPM decoding for QEC",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    decode = subparsers.add_parser("decode", help="sample and decode syndromes")
+    decode.add_argument("--distance", type=int, default=5)
+    decode.add_argument("--error-rate", type=float, default=0.005)
+    decode.add_argument("--noise", default="circuit_level")
+    decode.add_argument("--samples", type=int, default=5)
+    decode.add_argument("--seed", type=int, default=0)
+    decode.add_argument("--decoder", choices=sorted(DECODERS), default="micro-blossom")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    subparsers.add_parser("resources", help="print the Table 4 resource model")
+
+    accuracy = subparsers.add_parser(
+        "accuracy", help="Monte-Carlo logical error rate of a decoder"
+    )
+    accuracy.add_argument("--distance", type=int, default=3)
+    accuracy.add_argument("--error-rate", type=float, default=0.02)
+    accuracy.add_argument("--noise", default="circuit_level")
+    accuracy.add_argument("--samples", type=int, default=200)
+    accuracy.add_argument("--seed", type=int, default=0)
+    accuracy.add_argument("--decoder", choices=sorted(DECODERS), default="micro-blossom")
+    return parser
+
+
+def _command_decode(args: argparse.Namespace) -> int:
+    graph = surface_code_decoding_graph(
+        args.distance, noise_model_by_name(args.noise, args.error_rate)
+    )
+    sampler = SyndromeSampler(graph, seed=args.seed)
+    decoder = DECODERS[args.decoder](graph)
+    reference = ReferenceDecoder(graph)
+    rows = []
+    for index in range(args.samples):
+        syndrome = sampler.sample()
+        if hasattr(decoder, "decode_to_correction"):
+            correction = decoder.decode_to_correction(syndrome)
+            rows.append(
+                {
+                    "sample": index,
+                    "defects": syndrome.defect_count,
+                    "correction_edges": len(correction),
+                    "weight": "-",
+                    "optimal": "-",
+                }
+            )
+            continue
+        result = decoder.decode(syndrome)
+        optimal = reference.decode(syndrome).weight
+        rows.append(
+            {
+                "sample": index,
+                "defects": syndrome.defect_count,
+                "correction_edges": len(result.pairs),
+                "weight": result.weight,
+                "optimal": optimal,
+            }
+        )
+    print(format_rows(rows, ["sample", "defects", "correction_edges", "weight", "optimal"]))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    runner, columns = EXPERIMENTS[args.name]
+    rows = runner()
+    print(format_rows(rows, columns))
+    return 0
+
+
+def _command_resources(_args: argparse.Namespace) -> int:
+    rows = resource_usage_table()
+    print(
+        format_rows(
+            rows,
+            ["distance", "num_vertices", "num_edges", "luts", "paper_luts", "clock_mhz"],
+        )
+    )
+    return 0
+
+
+def _command_accuracy(args: argparse.Namespace) -> int:
+    graph = surface_code_decoding_graph(
+        args.distance, noise_model_by_name(args.noise, args.error_rate)
+    )
+    decoder = DECODERS[args.decoder](graph)
+    estimate = estimate_logical_error_rate(graph, decoder, args.samples, seed=args.seed)
+    print(
+        f"decoder={args.decoder} d={args.distance} p={args.error_rate} "
+        f"samples={estimate.samples} errors={estimate.errors} "
+        f"logical_error_rate={estimate.rate:.4g} (+/- {estimate.standard_error:.2g})"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the test suite."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "decode": _command_decode,
+        "experiment": _command_experiment,
+        "resources": _command_resources,
+        "accuracy": _command_accuracy,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Micro Blossom decoder front-end: CPU + accelerator co-simulation.
+
+``MicroBlossomDecoder`` combines the software primal module with the
+behavioural accelerator model and supports the three configurations evaluated
+in the paper (Figure 10a):
+
+* ``parallel dual phase`` only — pre-matching and streaming disabled;
+* ``+ parallel primal phase`` — pre-matching of isolated Conflicts enabled;
+* ``+ round-wise fusion`` — streaming, one measurement round at a time.
+
+Every decode returns a :class:`DecodeOutcome` carrying the matching itself and
+all the operation counts needed by the latency model (§8.2): accelerator
+instructions, blocking response reads, conflicts escalated to the CPU, and —
+for stream decoding — the share of the work that happens after the final
+measurement round arrived (which is what determines the decoding latency).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.syndrome import BOUNDARY, MatchingResult, Syndrome, matching_weight
+from .accelerator import MicroBlossomAccelerator
+from .dual import DEFAULT_DUAL_SCALE
+from .interface import IntegralityError
+from .primal import PrimalModule
+
+#: Maximum internal dual-scale doublings attempted before giving up.
+MAX_SCALE_RETRIES = 4
+
+
+@dataclass
+class DecodeOutcome:
+    """Full record of one decoding run."""
+
+    result: MatchingResult
+    defect_count: int
+    counters: Counter = field(default_factory=Counter)
+    post_final_round_counters: Counter = field(default_factory=Counter)
+    hardware_report: dict = field(default_factory=dict)
+    prematched_pairs: int = 0
+    stream: bool = False
+    prematching: bool = True
+    scale_retries: int = 0
+
+    @property
+    def weight(self) -> int:
+        return self.result.weight
+
+
+class MicroBlossomDecoder:
+    """Exact MWPM decoder with the Micro Blossom heterogeneous architecture."""
+
+    name = "micro-blossom"
+
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        enable_prematching: bool = True,
+        stream: bool = False,
+        scale: int = DEFAULT_DUAL_SCALE,
+    ) -> None:
+        self.graph = graph
+        self.enable_prematching = enable_prematching
+        self.stream = stream
+        self.scale = scale
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def decode(self, syndrome: Syndrome) -> MatchingResult:
+        """Decode a syndrome and return the defect-level matching."""
+        return self.decode_detailed(syndrome).result
+
+    def decode_detailed(self, syndrome: Syndrome) -> DecodeOutcome:
+        """Decode a syndrome and return the matching plus all statistics."""
+        scale = self.scale
+        last_error: IntegralityError | None = None
+        for retry in range(MAX_SCALE_RETRIES + 1):
+            try:
+                outcome = self._decode_once(syndrome, scale)
+                outcome.scale_retries = retry
+                return outcome
+            except IntegralityError as error:
+                last_error = error
+                scale *= 2
+        raise IntegralityError(
+            f"decoding failed even at dual scale {scale}: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _decode_once(self, syndrome: Syndrome, scale: int) -> DecodeOutcome:
+        accelerator = MicroBlossomAccelerator(
+            self.graph, scale=scale, enable_prematching=self.enable_prematching
+        )
+        primal = PrimalModule(self.graph, accelerator)
+        if self.stream:
+            post_final = self._decode_stream(syndrome, accelerator, primal)
+        else:
+            accelerator.load(syndrome.defects)
+            primal.run()
+            before_final = Counter()
+            post_final = self._counter_delta(accelerator, primal, before_final)
+        result = self._collect_result(syndrome, accelerator, primal)
+        counters = Counter(accelerator.counters)
+        counters.update(primal.counters)
+        prematched = len(accelerator.prematched_pairs())
+        return DecodeOutcome(
+            result=result,
+            defect_count=syndrome.defect_count,
+            counters=counters,
+            post_final_round_counters=post_final,
+            hardware_report=accelerator.hardware_report(),
+            prematched_pairs=prematched,
+            stream=self.stream,
+            prematching=self.enable_prematching,
+        )
+
+    def _decode_stream(
+        self,
+        syndrome: Syndrome,
+        accelerator: MicroBlossomAccelerator,
+        primal: PrimalModule,
+    ) -> Counter:
+        """Round-wise fusion: load and solve one measurement round at a time."""
+        graph = self.graph
+        num_layers = graph.num_layers
+        snapshot = Counter()
+        for layer in range(num_layers):
+            if layer == num_layers - 1:
+                snapshot = Counter(accelerator.counters)
+                snapshot.update(primal.counters)
+            layer_vertices = set(graph.vertices_in_layer(layer))
+            layer_defects = [d for d in syndrome.defects if d in layer_vertices]
+            accelerator.load(layer_defects, layers={layer})
+            newly_real = {
+                v for v in layer_vertices if not graph.is_virtual(v)
+            }
+            primal.break_boundary_matches(newly_real)
+            primal.run()
+        return self._counter_delta(accelerator, primal, snapshot)
+
+    @staticmethod
+    def _counter_delta(
+        accelerator: MicroBlossomAccelerator, primal: PrimalModule, before: Counter
+    ) -> Counter:
+        after = Counter(accelerator.counters)
+        after.update(primal.counters)
+        delta = Counter()
+        for key, value in after.items():
+            difference = value - before.get(key, 0)
+            if difference:
+                delta[key] = difference
+        return delta
+
+    def _collect_result(
+        self,
+        syndrome: Syndrome,
+        accelerator: MicroBlossomAccelerator,
+        primal: PrimalModule,
+    ) -> MatchingResult:
+        result = primal.collect_matching()
+        for prematch in accelerator.prematched_pairs():
+            if prematch.peer_is_boundary:
+                result.pairs.append((prematch.defect, BOUNDARY))
+                result.boundary_vertices[prematch.defect] = prematch.peer
+            else:
+                result.pairs.append((prematch.defect, prematch.peer))
+        result.weight = matching_weight(self.graph, result)
+        result.validate_perfect(syndrome.defects)
+        return result

@@ -1,0 +1,178 @@
+"""Accelerator instruction set (paper Table 3).
+
+The Micro Blossom accelerator is programmable through 32-bit instruction words
+written over a memory-mapped bus.  This module models the binary encoding so
+that bus-level traffic (number of words written / read) can be accounted for
+precisely by the latency model, and so that the encoding itself can be tested
+for round-trip consistency like the RTL generator of the paper's artifact.
+
+Word layout (Table 3)::
+
+    reset          |                          |1001|00|
+    set Direction  | S [31:17] | dir [16:15] 0|  00|
+    grow           | l [31:6]                 |1101|00|
+    set Cover      | C [31:17] | S [16:2]     |  01|
+    find Conflict  |                          |0001|00|
+    load Defects   | custom [31:6]            |0111|00|
+
+The two least-significant bits select the instruction group (``01`` for
+``set Cover``, ``00`` for everything else); the next four bits select the
+opcode within the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: Number of bits used to encode a node index (supports 2^14 vertices plus as
+#: many blossoms, i.e. code distances up to 31 as stated in the paper).
+NODE_INDEX_BITS = 15
+MAX_NODE_INDEX = (1 << NODE_INDEX_BITS) - 1
+#: Maximum growth length encodable in a single ``grow`` instruction.
+MAX_GROW_LENGTH = (1 << 26) - 1
+
+_GROUP_MASK = 0b11
+_OPCODE_SHIFT = 2
+_OPCODE_MASK = 0b1111
+
+
+class Opcode(Enum):
+    """Instruction opcodes of the dual-phase accelerator."""
+
+    RESET = 0b1001
+    SET_DIRECTION = 0b0000
+    GROW = 0b1101
+    SET_COVER = None  # encoded by the instruction group bits instead
+    FIND_CONFLICT = 0b0001
+    LOAD_DEFECTS = 0b0111
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded accelerator instruction."""
+
+    opcode: Opcode
+    node: int | None = None
+    direction: int | None = None
+    length: int | None = None
+    cover_source: int | None = None
+    cover_target: int | None = None
+    payload: int | None = None
+
+    def encode(self) -> int:
+        """Return the 32-bit instruction word."""
+        return encode_instruction(self)
+
+
+def _encode_direction(direction: int) -> int:
+    mapping = {0: 0b00, 1: 0b01, -1: 0b10}
+    try:
+        return mapping[direction]
+    except KeyError as exc:
+        raise ValueError(f"invalid direction {direction}") from exc
+
+
+def _decode_direction(bits: int) -> int:
+    mapping = {0b00: 0, 0b01: 1, 0b10: -1}
+    try:
+        return mapping[bits]
+    except KeyError as exc:
+        raise ValueError(f"invalid direction bits {bits:#04b}") from exc
+
+
+def _check_node(node: int) -> None:
+    if not 0 <= node <= MAX_NODE_INDEX:
+        raise ValueError(
+            f"node index {node} does not fit in {NODE_INDEX_BITS} bits"
+        )
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    opcode = instruction.opcode
+    if opcode is Opcode.RESET:
+        return (Opcode.RESET.value << _OPCODE_SHIFT) | 0b00
+    if opcode is Opcode.FIND_CONFLICT:
+        return (Opcode.FIND_CONFLICT.value << _OPCODE_SHIFT) | 0b00
+    if opcode is Opcode.SET_DIRECTION:
+        if instruction.node is None or instruction.direction is None:
+            raise ValueError("set Direction requires a node and a direction")
+        _check_node(instruction.node)
+        word = instruction.node << 17
+        word |= _encode_direction(instruction.direction) << 15
+        return word  # opcode bits are zero for this instruction
+    if opcode is Opcode.GROW:
+        if instruction.length is None or instruction.length < 0:
+            raise ValueError("grow requires a non-negative length")
+        if instruction.length > MAX_GROW_LENGTH:
+            raise ValueError(f"grow length {instruction.length} does not fit in 26 bits")
+        return (instruction.length << 6) | (Opcode.GROW.value << _OPCODE_SHIFT) | 0b00
+    if opcode is Opcode.SET_COVER:
+        if instruction.cover_source is None or instruction.cover_target is None:
+            raise ValueError("set Cover requires a source and a target node")
+        _check_node(instruction.cover_source)
+        _check_node(instruction.cover_target)
+        return (instruction.cover_source << 17) | (instruction.cover_target << 2) | 0b01
+    if opcode is Opcode.LOAD_DEFECTS:
+        payload = instruction.payload or 0
+        if not 0 <= payload < (1 << 26):
+            raise ValueError("load Defects payload does not fit in 26 bits")
+        return (payload << 6) | (Opcode.LOAD_DEFECTS.value << _OPCODE_SHIFT) | 0b00
+    raise ValueError(f"unsupported opcode {opcode}")
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise ValueError("instruction word must be a 32-bit unsigned integer")
+    group = word & _GROUP_MASK
+    if group == 0b01:
+        return Instruction(
+            opcode=Opcode.SET_COVER,
+            cover_source=word >> 17,
+            cover_target=(word >> 2) & MAX_NODE_INDEX,
+        )
+    opcode_bits = (word >> _OPCODE_SHIFT) & _OPCODE_MASK
+    if opcode_bits == Opcode.RESET.value:
+        return Instruction(opcode=Opcode.RESET)
+    if opcode_bits == Opcode.FIND_CONFLICT.value:
+        return Instruction(opcode=Opcode.FIND_CONFLICT)
+    if opcode_bits == Opcode.GROW.value:
+        return Instruction(opcode=Opcode.GROW, length=word >> 6)
+    if opcode_bits == Opcode.LOAD_DEFECTS.value:
+        return Instruction(opcode=Opcode.LOAD_DEFECTS, payload=word >> 6)
+    # set Direction uses opcode bits 0000 with the payload stored higher up.
+    return Instruction(
+        opcode=Opcode.SET_DIRECTION,
+        node=word >> 17,
+        direction=_decode_direction((word >> 15) & 0b11),
+    )
+
+
+def reset_word() -> int:
+    return encode_instruction(Instruction(opcode=Opcode.RESET))
+
+
+def find_conflict_word() -> int:
+    return encode_instruction(Instruction(opcode=Opcode.FIND_CONFLICT))
+
+
+def grow_word(length: int) -> int:
+    return encode_instruction(Instruction(opcode=Opcode.GROW, length=length))
+
+
+def set_direction_word(node: int, direction: int) -> int:
+    return encode_instruction(
+        Instruction(opcode=Opcode.SET_DIRECTION, node=node, direction=direction)
+    )
+
+
+def set_cover_word(source: int, target: int) -> int:
+    return encode_instruction(
+        Instruction(opcode=Opcode.SET_COVER, cover_source=source, cover_target=target)
+    )
+
+
+def load_defects_word(layer: int) -> int:
+    return encode_instruction(Instruction(opcode=Opcode.LOAD_DEFECTS, payload=layer))

@@ -1,0 +1,98 @@
+"""Shared interfaces between the dual phase (accelerator) and the primal phase.
+
+The blossom algorithm is split exactly as in the paper (§3): the *dual phase*
+maintains the Covers of all nodes and detects Obstacles; the *primal phase*
+(software) maintains matched pairs, alternating trees and blossoms and resolves
+the Obstacles.  The two halves communicate through the tiny vocabulary defined
+here: obstacle reports flowing up and instructions flowing down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+#: Directions of dual variables (paper §2): grow, hold, shrink.
+GROW = 1
+HOLD = 0
+SHRINK = -1
+
+
+class DualPhaseError(RuntimeError):
+    """Raised when the dual phase reaches an inconsistent state."""
+
+
+class IntegralityError(DualPhaseError):
+    """Raised when integer dual arithmetic would require a finer step.
+
+    The decoder catches this and retries with a finer internal dual scale;
+    see :class:`repro.core.dual.DualGraphState`.
+    """
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """Base class of all dual-phase responses."""
+
+
+@dataclass(frozen=True)
+class Conflict(Obstacle):
+    """Two nodes grow toward each other across an already-tight edge.
+
+    Attributes:
+        node_1, node_2: outer node identifiers.  ``node_2`` may identify a
+            boundary pseudo-node (a virtual or not-yet-loaded vertex).
+        touch_1, touch_2: the defect (or boundary vertex) of each node whose
+            Cover realises the tight edge; these become the endpoints of the
+            correction path if the two nodes end up matched.
+        vertex_1, vertex_2: the decoding-graph edge endpoint on each side
+            where the Conflict was detected (reported by the ePU).
+    """
+
+    node_1: int
+    node_2: int
+    touch_1: int
+    touch_2: int
+    vertex_1: int
+    vertex_2: int
+
+
+@dataclass(frozen=True)
+class GrowLength(Obstacle):
+    """No Conflict exists; the dual variables can safely grow by ``length``.
+
+    The length is expressed in the dual module's internal units (see
+    ``DualGraphState.scale``); the primal phase treats it opaquely.
+    """
+
+    length: int
+
+
+@dataclass(frozen=True)
+class Finished(Obstacle):
+    """No node is growing: the dual phase cannot make further progress."""
+
+
+class DualDriver(Protocol):
+    """Instruction-set level interface implemented by every dual module.
+
+    ``MicroBlossomAccelerator`` (parallel PUs) and ``SerialDualPhase``
+    (software baseline) both implement this protocol, which mirrors the
+    accelerator instruction set of Table 3.
+    """
+
+    def reset(self) -> None: ...
+
+    def load(self, defects, layers=None) -> None: ...
+
+    def set_direction(self, node: int, direction: int) -> None: ...
+
+    def create_blossom(self, children, blossom_id: int) -> None: ...
+
+    def expand_blossom(self, blossom_id: int, new_roots) -> None: ...
+
+    def grow(self, length: int) -> None: ...
+
+    def find_obstacle(self) -> Obstacle: ...
+
+    def is_boundary_node(self, node: int) -> bool: ...

@@ -1,0 +1,182 @@
+"""Monte-Carlo estimation of logical error rates and latency distributions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.syndrome import (
+    Syndrome,
+    SyndromeSampler,
+    correction_edges,
+)
+
+
+@dataclass(frozen=True)
+class LogicalErrorRateResult:
+    """Estimate of a decoder's logical error rate."""
+
+    samples: int
+    errors: int
+
+    @property
+    def rate(self) -> float:
+        return self.errors / self.samples if self.samples else 0.0
+
+    @property
+    def standard_error(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        rate = self.rate
+        return math.sqrt(max(rate * (1.0 - rate), 1e-300) / self.samples)
+
+
+@dataclass
+class LatencySample:
+    """Latency and outcome of a single decoded syndrome."""
+
+    latency_seconds: float
+    defect_count: int
+    logical_error: bool
+
+
+@dataclass
+class LatencyDistributionResult:
+    """Collection of latency samples for one decoder configuration."""
+
+    samples: list[LatencySample] = field(default_factory=list)
+
+    @property
+    def latencies(self) -> list[float]:
+        return [sample.latency_seconds for sample in self.samples]
+
+    @property
+    def average_latency(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.latencies) / len(self.samples)
+
+    @property
+    def logical_error_rate(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.logical_error) / len(self.samples)
+
+    @property
+    def average_defects(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.defect_count for s in self.samples) / len(self.samples)
+
+
+def decoder_correction(graph: DecodingGraph, decoder, syndrome: Syndrome) -> set[int]:
+    """Run any decoder of this package and return its correction edge set.
+
+    Decoders either return a :class:`MatchingResult` from ``decode`` or expose
+    ``decode_to_correction`` directly (the Union-Find decoder).
+    """
+    if hasattr(decoder, "decode_to_correction"):
+        return set(decoder.decode_to_correction(syndrome))
+    result = decoder.decode(syndrome)
+    return correction_edges(graph, result)
+
+
+def is_decoder_logical_error(
+    graph: DecodingGraph, decoder, syndrome: Syndrome
+) -> bool:
+    """True when the decoder's correction flips the logical observable wrongly."""
+    if syndrome.logical_flip is None:
+        raise ValueError("syndrome does not carry ground-truth information")
+    correction = decoder_correction(graph, decoder, syndrome)
+    return graph.crosses_observable(correction) != syndrome.logical_flip
+
+
+def estimate_logical_error_rate(
+    graph: DecodingGraph,
+    decoder,
+    num_samples: int,
+    seed: int | None = None,
+    sampler: SyndromeSampler | None = None,
+) -> LogicalErrorRateResult:
+    """Monte-Carlo logical error rate of a decoder on a decoding graph."""
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    sampler = sampler or SyndromeSampler(graph, seed=seed)
+    errors = 0
+    for _ in range(num_samples):
+        syndrome = sampler.sample()
+        if not syndrome.defects:
+            if syndrome.logical_flip:
+                errors += 1
+            continue
+        if is_decoder_logical_error(graph, decoder, syndrome):
+            errors += 1
+    return LogicalErrorRateResult(samples=num_samples, errors=errors)
+
+
+def collect_latency_samples(
+    graph: DecodingGraph,
+    decode_with_latency: Callable[[Syndrome], tuple[float, bool]],
+    num_samples: int,
+    seed: int | None = None,
+) -> LatencyDistributionResult:
+    """Sample syndromes and record ``(latency, logical_error)`` per decode.
+
+    ``decode_with_latency`` maps a syndrome to its decoding latency (seconds)
+    and whether the decode produced a logical error.
+    """
+    sampler = SyndromeSampler(graph, seed=seed)
+    result = LatencyDistributionResult()
+    for _ in range(num_samples):
+        syndrome = sampler.sample()
+        latency, logical_error = decode_with_latency(syndrome)
+        result.samples.append(
+            LatencySample(
+                latency_seconds=latency,
+                defect_count=syndrome.defect_count,
+                logical_error=logical_error,
+            )
+        )
+    return result
+
+
+def expected_defect_count(graph: DecodingGraph) -> float:
+    """Expected number of defects per syndrome under the graph's error model.
+
+    Each real vertex becomes a defect when an odd number of its incident edges
+    flip; with independent flips the probability is
+    ``(1 - prod(1 - 2 p_e)) / 2``.
+    """
+    total = 0.0
+    for vertex in range(graph.num_vertices):
+        if graph.is_virtual(vertex):
+            continue
+        product = 1.0
+        for edge_index, _neighbor in graph.neighbors(vertex):
+            product *= 1.0 - 2.0 * graph.edges[edge_index].probability
+        total += (1.0 - product) / 2.0
+    return total
+
+
+def expected_error_count(graph: DecodingGraph) -> float:
+    """Expected number of flipped edges per syndrome."""
+    return sum(edge.probability for edge in graph.edges)
+
+
+def wilson_interval(
+    errors: int, samples: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial logical error rate estimate."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    p_hat = errors / samples
+    denominator = 1.0 + z * z / samples
+    centre = (p_hat + z * z / (2 * samples)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / samples + z * z / (4 * samples * samples))
+        / denominator
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)

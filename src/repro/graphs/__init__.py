@@ -1,0 +1,56 @@
+"""Decoding-graph substrate: codes, noise models, syndromes."""
+
+from .decoding_graph import (
+    DEFAULT_MAX_WEIGHT,
+    WEIGHT_DOUBLING,
+    DecodingGraph,
+    Edge,
+    GraphBuilder,
+    Vertex,
+    quantized_weight,
+)
+from .noise import (
+    NoiseModel,
+    NoiseModelError,
+    circuit_level_noise,
+    code_capacity_noise,
+    noise_model_by_name,
+    phenomenological_noise,
+)
+from .repetition_code import repetition_code_decoding_graph
+from .surface_code import SurfaceCodeLayout, surface_code_decoding_graph
+from .syndrome import (
+    BOUNDARY,
+    MatchingResult,
+    Syndrome,
+    SyndromeSampler,
+    correction_edges,
+    is_logical_error,
+    residual_defects,
+)
+
+__all__ = [
+    "DEFAULT_MAX_WEIGHT",
+    "WEIGHT_DOUBLING",
+    "DecodingGraph",
+    "Edge",
+    "GraphBuilder",
+    "Vertex",
+    "quantized_weight",
+    "NoiseModel",
+    "NoiseModelError",
+    "circuit_level_noise",
+    "code_capacity_noise",
+    "noise_model_by_name",
+    "phenomenological_noise",
+    "repetition_code_decoding_graph",
+    "SurfaceCodeLayout",
+    "surface_code_decoding_graph",
+    "BOUNDARY",
+    "MatchingResult",
+    "Syndrome",
+    "SyndromeSampler",
+    "correction_edges",
+    "is_logical_error",
+    "residual_defects",
+]

@@ -1,0 +1,333 @@
+"""Decoding graph data structures.
+
+A decoding graph ``G = (V, E, W)`` is derived from a QEC code and a noise model
+(paper §2).  Each vertex corresponds to a stabilizer measurement (or a virtual
+boundary vertex); each edge corresponds to an independent error mechanism with
+probability ``p_e`` and weight ``w_e = log((1 - p_e) / p_e)``.
+
+Weights are quantised to small non-negative integers (the paper's prototype
+uses 4-bit weights with a maximum of 14, §8.1) and then doubled internally so
+that all dual variables of the blossom algorithm stay integral even when two
+covers meet in the middle of an edge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Internal multiplier applied to every quantised weight so that half-integral
+#: dual updates of the blossom algorithm become integral.
+WEIGHT_DOUBLING = 2
+
+#: Default maximum quantised weight (4-bit representation, paper §8.1).
+DEFAULT_MAX_WEIGHT = 14
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A vertex of the decoding graph.
+
+    Attributes:
+        index: position of the vertex in ``DecodingGraph.vertices``.
+        layer: measurement round this vertex belongs to (0 for 2D graphs).
+        row, col: spatial coordinates inside the layer.
+        is_virtual: True for boundary (virtual) vertices, which represent the
+            unknown measurements along the code boundary and never host defects.
+    """
+
+    index: int
+    layer: int
+    row: int
+    col: int
+    is_virtual: bool = False
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An edge of the decoding graph (one independent error mechanism)."""
+
+    index: int
+    u: int
+    v: int
+    weight: int
+    probability: float
+    #: True if this error flips the logical observable used for evaluation.
+    observable: bool = False
+    #: Classification used by noise models and resource accounting.
+    kind: str = "spatial"
+
+    def other(self, vertex: int) -> int:
+        """Return the endpoint of the edge that is not ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise ValueError(f"vertex {vertex} is not an endpoint of edge {self.index}")
+
+
+def quantized_weight(
+    probability: float,
+    reference_probability: float,
+    max_weight: int = DEFAULT_MAX_WEIGHT,
+) -> int:
+    """Quantise ``log((1-p)/p)`` onto ``1..max_weight`` (before doubling).
+
+    ``reference_probability`` is the smallest error probability present in the
+    graph; it maps to ``max_weight`` so that the full dynamic range of the
+    fixed-point representation is used (paper §8.1: "maximum edge weight 14").
+    """
+    if not 0.0 < probability < 0.5:
+        raise ValueError("edge probability must lie in (0, 0.5)")
+    if not 0.0 < reference_probability < 0.5:
+        raise ValueError("reference probability must lie in (0, 0.5)")
+    raw = math.log((1.0 - probability) / probability)
+    raw_max = math.log((1.0 - reference_probability) / reference_probability)
+    scaled = int(round(raw / raw_max * max_weight))
+    return max(1, min(max_weight, scaled))
+
+
+class DecodingGraph:
+    """A weighted decoding graph with virtual (boundary) vertices.
+
+    The graph is immutable after construction.  It offers the adjacency and
+    shortest-path queries needed both by decoders (path reconstruction for the
+    final correction) and by the reference syndrome-graph MWPM decoder.
+    """
+
+    def __init__(
+        self,
+        vertices: Sequence[Vertex],
+        edges: Sequence[Edge],
+        observable_edges: Iterable[int] | None = None,
+        metadata: dict | None = None,
+    ) -> None:
+        self.vertices: list[Vertex] = list(vertices)
+        self.edges: list[Edge] = list(edges)
+        self.metadata: dict = dict(metadata or {})
+        self._validate()
+        self.adjacency: list[list[tuple[int, int]]] = [[] for _ in self.vertices]
+        for edge in self.edges:
+            self.adjacency[edge.u].append((edge.index, edge.v))
+            self.adjacency[edge.v].append((edge.index, edge.u))
+        if observable_edges is None:
+            observable_edges = [e.index for e in self.edges if e.observable]
+        self.observable_edges: frozenset[int] = frozenset(observable_edges)
+        self.virtual_vertices: list[int] = [
+            v.index for v in self.vertices if v.is_virtual
+        ]
+        self._distance_cache: dict[int, tuple[list[int], list[int | None]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for i, vertex in enumerate(self.vertices):
+            if vertex.index != i:
+                raise ValueError("vertex indices must be consecutive and ordered")
+        seen: set[tuple[int, int]] = set()
+        for i, edge in enumerate(self.edges):
+            if edge.index != i:
+                raise ValueError("edge indices must be consecutive and ordered")
+            if edge.u == edge.v:
+                raise ValueError("self loops are not allowed in decoding graphs")
+            if not (0 <= edge.u < len(self.vertices)) or not (
+                0 <= edge.v < len(self.vertices)
+            ):
+                raise ValueError("edge endpoint out of range")
+            if edge.weight < 0:
+                raise ValueError("edge weights must be non-negative")
+            key = (min(edge.u, edge.v), max(edge.u, edge.v))
+            if key in seen:
+                raise ValueError(f"duplicate edge between {key}")
+            seen.add(key)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_real_vertices(self) -> int:
+        return self.num_vertices - len(self.virtual_vertices)
+
+    def is_virtual(self, vertex: int) -> bool:
+        return self.vertices[vertex].is_virtual
+
+    def neighbors(self, vertex: int) -> list[tuple[int, int]]:
+        """Return ``(edge_index, neighbor_vertex)`` pairs incident to ``vertex``."""
+        return self.adjacency[vertex]
+
+    def edge_between(self, u: int, v: int) -> Edge | None:
+        """Return the edge connecting ``u`` and ``v`` if it exists."""
+        for edge_index, neighbor in self.adjacency[u]:
+            if neighbor == v:
+                return self.edges[edge_index]
+        return None
+
+    def total_weight(self) -> int:
+        return sum(edge.weight for edge in self.edges)
+
+    def max_weight(self) -> int:
+        return max((edge.weight for edge in self.edges), default=0)
+
+    # ------------------------------------------------------------------
+    # shortest paths
+    # ------------------------------------------------------------------
+    def shortest_distances(self, source: int) -> tuple[list[int], list[int | None]]:
+        """Dijkstra from ``source``.
+
+        Returns ``(distances, predecessor_edges)`` where ``predecessor_edges[v]``
+        is the edge index used to reach ``v`` (``None`` for the source or
+        unreachable vertices).  Results are cached per source.
+        """
+        cached = self._distance_cache.get(source)
+        if cached is not None:
+            return cached
+        infinity = math.inf
+        distances: list[float] = [infinity] * self.num_vertices
+        predecessors: list[int | None] = [None] * self.num_vertices
+        distances[source] = 0
+        heap: list[tuple[int, int]] = [(0, source)]
+        while heap:
+            dist, vertex = heapq.heappop(heap)
+            if dist > distances[vertex]:
+                continue
+            for edge_index, neighbor in self.adjacency[vertex]:
+                weight = self.edges[edge_index].weight
+                candidate = dist + weight
+                if candidate < distances[neighbor]:
+                    distances[neighbor] = candidate
+                    predecessors[neighbor] = edge_index
+                    heapq.heappush(heap, (candidate, neighbor))
+        result = (
+            [int(d) if d is not infinity else -1 for d in distances],
+            predecessors,
+        )
+        self._distance_cache[source] = result
+        return result
+
+    def distance(self, u: int, v: int) -> int:
+        """Shortest-path distance between two vertices (-1 if disconnected)."""
+        distances, _ = self.shortest_distances(u)
+        return distances[v]
+
+    def shortest_path_edges(self, u: int, v: int) -> list[int]:
+        """Edge indices along one shortest path from ``u`` to ``v``."""
+        distances, predecessors = self.shortest_distances(u)
+        if distances[v] < 0:
+            raise ValueError(f"vertices {u} and {v} are disconnected")
+        path: list[int] = []
+        current = v
+        while current != u:
+            edge_index = predecessors[current]
+            if edge_index is None:
+                raise ValueError(f"vertices {u} and {v} are disconnected")
+            path.append(edge_index)
+            current = self.edges[edge_index].other(current)
+        path.reverse()
+        return path
+
+    def nearest_virtual(self, vertex: int) -> tuple[int, int]:
+        """Return ``(distance, virtual_vertex)`` of the closest boundary vertex.
+
+        Returns ``(-1, -1)`` when the graph has no virtual vertices reachable
+        from ``vertex``.
+        """
+        distances, _ = self.shortest_distances(vertex)
+        best_distance = -1
+        best_vertex = -1
+        for virtual in self.virtual_vertices:
+            dist = distances[virtual]
+            if dist < 0:
+                continue
+            if best_distance < 0 or dist < best_distance:
+                best_distance = dist
+                best_vertex = virtual
+        return best_distance, best_vertex
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+    def correction_from_pairs(
+        self, pairs: Iterable[tuple[int, int]]
+    ) -> set[int]:
+        """Turn matched defect pairs into a correction (a set of edge indices).
+
+        Each pair contributes one shortest path between its endpoints; edges
+        appearing an even number of times cancel out (XOR semantics).
+        """
+        correction: set[int] = set()
+        for u, v in pairs:
+            for edge_index in self.shortest_path_edges(u, v):
+                correction.symmetric_difference_update({edge_index})
+        return correction
+
+    def crosses_observable(self, edge_indices: Iterable[int]) -> bool:
+        """Parity of the given edge set restricted to the logical observable."""
+        crossings = sum(1 for index in edge_indices if index in self.observable_edges)
+        return crossings % 2 == 1
+
+    def vertices_in_layer(self, layer: int) -> list[int]:
+        return [v.index for v in self.vertices if v.layer == layer]
+
+    @property
+    def num_layers(self) -> int:
+        return 1 + max((v.layer for v in self.vertices), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DecodingGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"layers={self.num_layers}, virtual={len(self.virtual_vertices)})"
+        )
+
+
+@dataclass
+class GraphBuilder:
+    """Incremental builder used by the code-family specific constructors."""
+
+    max_weight: int = DEFAULT_MAX_WEIGHT
+    vertices: list[Vertex] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    _edge_keys: set[tuple[int, int]] = field(default_factory=set)
+    metadata: dict = field(default_factory=dict)
+
+    def add_vertex(
+        self, layer: int, row: int, col: int, is_virtual: bool = False
+    ) -> int:
+        index = len(self.vertices)
+        self.vertices.append(Vertex(index, layer, row, col, is_virtual))
+        return index
+
+    def add_edge(
+        self,
+        u: int,
+        v: int,
+        probability: float,
+        reference_probability: float,
+        observable: bool = False,
+        kind: str = "spatial",
+    ) -> int:
+        key = (min(u, v), max(u, v))
+        if key in self._edge_keys:
+            raise ValueError(f"duplicate edge between {key}")
+        self._edge_keys.add(key)
+        weight = WEIGHT_DOUBLING * quantized_weight(
+            probability, reference_probability, self.max_weight
+        )
+        index = len(self.edges)
+        self.edges.append(
+            Edge(index, u, v, weight, probability, observable=observable, kind=kind)
+        )
+        return index
+
+    def build(self) -> DecodingGraph:
+        return DecodingGraph(self.vertices, self.edges, metadata=self.metadata)

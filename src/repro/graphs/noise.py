@@ -1,0 +1,128 @@
+"""Noise models used to construct decoding graphs.
+
+Three families are supported, matching the artifact of the paper (§A.6):
+
+* **code capacity** — only data-qubit errors, perfect measurements, a single
+  measurement round (2D decoding graph).
+* **phenomenological** — data-qubit errors plus independent measurement errors,
+  ``rounds`` measurement rounds (3D decoding graph with vertical edges).
+* **circuit level** — like phenomenological plus space-time correlated ("hook")
+  error mechanisms represented by diagonal edges between consecutive rounds
+  (Figure 1c of the paper).
+
+The noise model fixes the probability of every edge *kind*; the code-family
+builders then create edges with these probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class NoiseModelError(ValueError):
+    """Raised when a noise model is configured inconsistently."""
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-edge-kind error probabilities of a decoding graph.
+
+    Attributes:
+        name: one of ``code_capacity``, ``phenomenological``, ``circuit_level``.
+        spatial: probability of a data-qubit error (spatial edge).
+        temporal: probability of a measurement error (time-like edge); zero for
+            code-capacity noise.
+        diagonal: probability of a hook/space-time error (diagonal edge); zero
+            unless the model is circuit level.
+        boundary: probability of a data-qubit error on a boundary edge.
+    """
+
+    name: str
+    spatial: float
+    temporal: float
+    diagonal: float
+    boundary: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("spatial", "temporal", "diagonal", "boundary"):
+            value = getattr(self, field_name)
+            if value < 0.0 or value >= 0.5:
+                raise NoiseModelError(
+                    f"{field_name} probability must lie in [0, 0.5), got {value}"
+                )
+        if self.spatial <= 0.0:
+            raise NoiseModelError("spatial probability must be positive")
+
+    @property
+    def is_three_dimensional(self) -> bool:
+        return self.temporal > 0.0
+
+    @property
+    def minimum_probability(self) -> float:
+        """Smallest nonzero edge probability (used as the weight reference)."""
+        candidates = [
+            p
+            for p in (self.spatial, self.temporal, self.diagonal, self.boundary)
+            if p > 0.0
+        ]
+        return min(candidates)
+
+    def probability_for_kind(self, kind: str) -> float:
+        mapping = {
+            "spatial": self.spatial,
+            "temporal": self.temporal,
+            "diagonal": self.diagonal,
+            "boundary": self.boundary,
+        }
+        try:
+            return mapping[kind]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise NoiseModelError(f"unknown edge kind {kind!r}") from exc
+
+
+def code_capacity_noise(p: float) -> NoiseModel:
+    """Data-qubit errors only; measurements are perfect."""
+    return NoiseModel(
+        name="code_capacity", spatial=p, temporal=0.0, diagonal=0.0, boundary=p
+    )
+
+
+def phenomenological_noise(p: float) -> NoiseModel:
+    """Data-qubit errors plus measurement errors of the same probability."""
+    return NoiseModel(
+        name="phenomenological", spatial=p, temporal=p, diagonal=0.0, boundary=p
+    )
+
+
+def circuit_level_noise(p: float, hook_fraction: float = 0.5) -> NoiseModel:
+    """Circuit-level noise: adds diagonal (hook) error mechanisms.
+
+    ``hook_fraction`` scales the diagonal edge probability relative to ``p``;
+    the exact value only shifts weights slightly and does not change the shape
+    of any evaluation result.
+    """
+    if not 0.0 < hook_fraction <= 1.0:
+        raise NoiseModelError("hook_fraction must lie in (0, 1]")
+    return NoiseModel(
+        name="circuit_level",
+        spatial=p,
+        temporal=p,
+        diagonal=p * hook_fraction,
+        boundary=p,
+    )
+
+
+def noise_model_by_name(name: str, p: float) -> NoiseModel:
+    """Factory used by command-line style entry points and the test matrix."""
+    factories = {
+        "code_capacity": code_capacity_noise,
+        "phenomenological": phenomenological_noise,
+        "circuit_level": circuit_level_noise,
+    }
+    try:
+        factory = factories[name]
+    except KeyError as exc:
+        raise NoiseModelError(
+            f"unknown noise model {name!r}; expected one of {sorted(factories)}"
+        ) from exc
+    return factory(p)

@@ -1,0 +1,112 @@
+"""Decoding-graph construction for the quantum repetition code.
+
+The repetition code is the one-dimensional cousin of the surface code; the
+paper's artifact uses it as the smallest correctness-verification target
+(§A.6).  A distance-``d`` repetition code has ``d`` data qubits in a line and
+``d - 1`` stabilizers; error chains terminate on the two ends of the line,
+represented by two virtual vertices per layer.
+"""
+
+from __future__ import annotations
+
+from .decoding_graph import DEFAULT_MAX_WEIGHT, DecodingGraph, GraphBuilder
+from .noise import NoiseModel, NoiseModelError
+
+
+def repetition_code_decoding_graph(
+    distance: int,
+    noise_model: NoiseModel,
+    rounds: int | None = None,
+    max_weight: int = DEFAULT_MAX_WEIGHT,
+) -> DecodingGraph:
+    """Build the decoding graph of a distance-``d`` repetition code memory.
+
+    The logical observable is the left boundary edge of every layer: a chain of
+    bit flips causes a logical error iff it crosses the left boundary an odd
+    number of times.
+    """
+    if distance < 3:
+        raise ValueError("code distance must be >= 3")
+    if not noise_model.is_three_dimensional:
+        effective_rounds = 1
+    else:
+        effective_rounds = distance if rounds is None else rounds
+    if effective_rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if noise_model.diagonal > 0.0 and effective_rounds < 2:
+        raise NoiseModelError(
+            "circuit-level noise requires at least two measurement rounds"
+        )
+
+    builder = GraphBuilder(max_weight=max_weight)
+    builder.metadata.update(
+        {
+            "code": "repetition",
+            "distance": distance,
+            "rounds": effective_rounds,
+            "noise_model": noise_model.name,
+            "physical_error_rate": noise_model.spatial,
+        }
+    )
+    reference = noise_model.minimum_probability
+
+    stabilizers = distance - 1
+    real_index: dict[tuple[int, int], int] = {}
+    left_virtual: dict[int, int] = {}
+    right_virtual: dict[int, int] = {}
+    for layer in range(effective_rounds):
+        for position in range(stabilizers):
+            real_index[(layer, position)] = builder.add_vertex(layer, 0, position)
+        left_virtual[layer] = builder.add_vertex(layer, 0, -1, is_virtual=True)
+        right_virtual[layer] = builder.add_vertex(
+            layer, 0, stabilizers, is_virtual=True
+        )
+
+    for layer in range(effective_rounds):
+        builder.add_edge(
+            left_virtual[layer],
+            real_index[(layer, 0)],
+            noise_model.boundary,
+            reference,
+            observable=True,
+            kind="boundary",
+        )
+        for position in range(stabilizers - 1):
+            builder.add_edge(
+                real_index[(layer, position)],
+                real_index[(layer, position + 1)],
+                noise_model.spatial,
+                reference,
+                kind="spatial",
+            )
+        builder.add_edge(
+            real_index[(layer, stabilizers - 1)],
+            right_virtual[layer],
+            noise_model.boundary,
+            reference,
+            kind="boundary",
+        )
+
+    if noise_model.temporal > 0.0:
+        for layer in range(effective_rounds - 1):
+            for position in range(stabilizers):
+                builder.add_edge(
+                    real_index[(layer, position)],
+                    real_index[(layer + 1, position)],
+                    noise_model.temporal,
+                    reference,
+                    kind="temporal",
+                )
+
+    if noise_model.diagonal > 0.0:
+        for layer in range(effective_rounds - 1):
+            for position in range(stabilizers - 1):
+                builder.add_edge(
+                    real_index[(layer, position)],
+                    real_index[(layer + 1, position + 1)],
+                    noise_model.diagonal,
+                    reference,
+                    kind="diagonal",
+                )
+
+    return builder.build()

@@ -1,0 +1,195 @@
+"""Error sampling, syndromes, and logical-error evaluation.
+
+A *syndrome* is the set of defect vertices (stabilizers whose measurement
+outcome flipped).  We sample syndromes by flipping every decoding-graph edge
+independently with its error probability and taking the parity of flipped
+edges incident to each real vertex; virtual vertices absorb chains without
+producing defects (paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .decoding_graph import DecodingGraph
+
+#: Sentinel used in matchings to denote "matched to the boundary".
+BOUNDARY = -1
+
+
+@dataclass(frozen=True)
+class Syndrome:
+    """A sampled decoding instance.
+
+    Attributes:
+        defects: sorted tuple of defect vertex indices (all non-virtual).
+        error_edges: edges that actually flipped (ground truth; empty when the
+            syndrome was supplied externally).
+        logical_flip: whether the ground-truth error flips the logical
+            observable (None when unknown).
+    """
+
+    defects: tuple[int, ...]
+    error_edges: tuple[int, ...] = ()
+    logical_flip: bool | None = None
+
+    @property
+    def defect_count(self) -> int:
+        return len(self.defects)
+
+    def defects_in_layers(self, graph: DecodingGraph, layers: set[int]) -> tuple[int, ...]:
+        """Subset of the defects lying in the given measurement rounds."""
+        return tuple(
+            d for d in self.defects if graph.vertices[d].layer in layers
+        )
+
+
+@dataclass
+class MatchingResult:
+    """Output of a decoder: a pairing of every defect vertex.
+
+    ``pairs`` contains tuples ``(u, v)`` of defect vertices matched to each
+    other and ``(u, BOUNDARY)`` for defects matched to the boundary (with the
+    concrete virtual vertex recorded in ``boundary_vertices`` when known).
+    ``weight`` is the total matching weight in decoding-graph units.
+    """
+
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    boundary_vertices: dict[int, int] = field(default_factory=dict)
+    weight: int = 0
+
+    def matched_vertices(self) -> list[int]:
+        vertices: list[int] = []
+        for u, v in self.pairs:
+            vertices.append(u)
+            if v != BOUNDARY:
+                vertices.append(v)
+        return vertices
+
+    def validate_perfect(self, defects: Sequence[int]) -> None:
+        """Raise ``ValueError`` unless every defect is matched exactly once."""
+        matched = self.matched_vertices()
+        if len(matched) != len(set(matched)):
+            raise ValueError("a defect vertex is matched more than once")
+        if set(matched) != set(defects):
+            missing = set(defects) - set(matched)
+            extra = set(matched) - set(defects)
+            raise ValueError(
+                f"matching is not perfect (missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+
+
+class SyndromeSampler:
+    """Samples decoding instances from a decoding graph's error model."""
+
+    def __init__(self, graph: DecodingGraph, seed: int | None = None) -> None:
+        self.graph = graph
+        self.rng = np.random.default_rng(seed)
+        self._probabilities = np.array(
+            [edge.probability for edge in graph.edges], dtype=float
+        )
+
+    def sample(self) -> Syndrome:
+        """Sample one syndrome by flipping each edge independently."""
+        flips = self.rng.random(len(self._probabilities)) < self._probabilities
+        error_edges = tuple(int(i) for i in np.flatnonzero(flips))
+        return self.syndrome_from_errors(error_edges)
+
+    def sample_batch(self, count: int) -> list[Syndrome]:
+        return [self.sample() for _ in range(count)]
+
+    def syndrome_from_errors(self, error_edges: Iterable[int]) -> Syndrome:
+        """Derive the syndrome produced by a known set of flipped edges."""
+        error_edges = tuple(sorted(set(error_edges)))
+        parity = [0] * self.graph.num_vertices
+        for edge_index in error_edges:
+            edge = self.graph.edges[edge_index]
+            parity[edge.u] ^= 1
+            parity[edge.v] ^= 1
+        defects = tuple(
+            index
+            for index, flipped in enumerate(parity)
+            if flipped and not self.graph.is_virtual(index)
+        )
+        logical_flip = self.graph.crosses_observable(error_edges)
+        return Syndrome(defects=defects, error_edges=error_edges, logical_flip=logical_flip)
+
+
+def matching_weight(graph: DecodingGraph, result: MatchingResult) -> int:
+    """Total decoding-graph weight realised by a matching.
+
+    Defect pairs contribute their shortest-path distance; boundary matches
+    contribute the distance to the specific virtual vertex they were matched
+    to (or to the nearest one when unspecified).  Exact decoders must realise
+    the same total weight as the reference MWPM decoder.
+    """
+    total = 0
+    for u, v in result.pairs:
+        if v == BOUNDARY:
+            target = result.boundary_vertices.get(u)
+            if target is None:
+                distance, _ = graph.nearest_virtual(u)
+            else:
+                distance = graph.distance(u, target)
+            total += distance
+        else:
+            total += graph.distance(u, v)
+    return total
+
+
+def correction_edges(graph: DecodingGraph, result: MatchingResult) -> set[int]:
+    """Expand a matching into a correction (set of decoding-graph edges)."""
+    correction: set[int] = set()
+    for u, v in result.pairs:
+        if v == BOUNDARY:
+            target = result.boundary_vertices.get(u)
+            if target is None:
+                _, target = graph.nearest_virtual(u)
+            if target < 0:
+                raise ValueError(f"defect {u} cannot reach any boundary vertex")
+        else:
+            target = v
+        for edge_index in graph.shortest_path_edges(u, target):
+            if edge_index in correction:
+                correction.discard(edge_index)
+            else:
+                correction.add(edge_index)
+    return correction
+
+
+def is_logical_error(
+    graph: DecodingGraph, syndrome: Syndrome, result: MatchingResult
+) -> bool:
+    """Compare the decoder's correction with the ground-truth error.
+
+    A logical error occurs when the parity of observable crossings of the
+    correction differs from that of the actual error chain.
+    """
+    if syndrome.logical_flip is None:
+        raise ValueError("syndrome does not carry ground-truth information")
+    correction = correction_edges(graph, result)
+    predicted_flip = graph.crosses_observable(correction)
+    return predicted_flip != syndrome.logical_flip
+
+
+def residual_defects(
+    graph: DecodingGraph, syndrome: Syndrome, correction: Iterable[int]
+) -> tuple[int, ...]:
+    """Defects that remain after applying ``correction`` on top of the error.
+
+    A valid correction must annihilate every defect; this is used by tests as
+    a structural invariant for every decoder.
+    """
+    parity = [0] * graph.num_vertices
+    for edge_index in list(syndrome.error_edges) + list(correction):
+        edge = graph.edges[edge_index]
+        parity[edge.u] ^= 1
+        parity[edge.v] ^= 1
+    return tuple(
+        index
+        for index, flipped in enumerate(parity)
+        if flipped and not graph.is_virtual(index)
+    )

@@ -1,0 +1,34 @@
+"""Latency and timing models of the evaluation (§8.2, §8.3)."""
+
+from .cutoff import (
+    LatencyStatistics,
+    cutoff_latency,
+    exponential_tail_fit,
+    survival_histogram,
+)
+from .effective import EffectiveErrorRate, effective_error_rate
+from .model import (
+    MEASUREMENT_ROUND_SECONDS,
+    PAPER_CLOCK_FREQUENCY_MHZ,
+    AcceleratorTimingModel,
+    HeliosLatencyModel,
+    MicroBlossomLatencyModel,
+    ParityBlossomLatencyModel,
+    accelerator_clock_frequency_hz,
+)
+
+__all__ = [
+    "LatencyStatistics",
+    "cutoff_latency",
+    "exponential_tail_fit",
+    "survival_histogram",
+    "EffectiveErrorRate",
+    "effective_error_rate",
+    "MEASUREMENT_ROUND_SECONDS",
+    "PAPER_CLOCK_FREQUENCY_MHZ",
+    "AcceleratorTimingModel",
+    "HeliosLatencyModel",
+    "MicroBlossomLatencyModel",
+    "ParityBlossomLatencyModel",
+    "accelerator_clock_frequency_hz",
+]

@@ -1,0 +1,62 @@
+"""Effective logical error rate including latency-induced idle errors (§8.3).
+
+While a logical feedforward decision waits for the decoder, the target logical
+qubit keeps accumulating idle errors.  With decoding latency ``L`` (in
+seconds), measurement round time ``t_round`` and code distance ``d`` the
+paper's model is::
+
+    p_eff = p_L * (1 + L / (d * t_round))
+
+and because the expression is linear in ``L`` only the *average* latency
+matters.  Figure 11 reports the ratio of *additional* logical error relative
+to a zero-latency MWPM decoder::
+
+    ratio = p_eff / p_L^MWPM - 1
+          = (p_L / p_L^MWPM) * (1 + L_avg / (d * t_round)) - 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import MEASUREMENT_ROUND_SECONDS
+
+
+@dataclass(frozen=True)
+class EffectiveErrorRate:
+    """Effective logical error rate of one decoder configuration."""
+
+    logical_error_rate: float
+    average_latency_seconds: float
+    distance: int
+    round_seconds: float = MEASUREMENT_ROUND_SECONDS
+
+    @property
+    def latency_rounds(self) -> float:
+        """Average decoding latency expressed in measurement rounds."""
+        return self.average_latency_seconds / self.round_seconds
+
+    @property
+    def value(self) -> float:
+        return self.logical_error_rate * (1.0 + self.latency_rounds / self.distance)
+
+    def additional_error_ratio(self, mwpm_logical_error_rate: float) -> float:
+        """``p_eff / p_L^MWPM - 1`` as plotted in Figure 11."""
+        if mwpm_logical_error_rate <= 0:
+            raise ValueError("the MWPM logical error rate must be positive")
+        return self.value / mwpm_logical_error_rate - 1.0
+
+
+def effective_error_rate(
+    logical_error_rate: float,
+    average_latency_seconds: float,
+    distance: int,
+    round_seconds: float = MEASUREMENT_ROUND_SECONDS,
+) -> float:
+    """Convenience wrapper around :class:`EffectiveErrorRate`."""
+    return EffectiveErrorRate(
+        logical_error_rate=logical_error_rate,
+        average_latency_seconds=average_latency_seconds,
+        distance=distance,
+        round_seconds=round_seconds,
+    ).value

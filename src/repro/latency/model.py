@@ -1,0 +1,260 @@
+"""Timing models converting operation counts into decoding latency.
+
+The paper evaluates latency on real hardware (an FPGA-hosted accelerator next
+to an embedded ARM CPU, and an Apple M1 Max for the software baseline).  This
+reproduction cannot run that hardware, so latency is produced by explicit
+timing models applied to the operation counts measured while actually decoding
+each syndrome:
+
+* :class:`AcceleratorTimingModel` — clock period per code distance (Table 4),
+  pipeline and convergecast depth, and the CPU↔accelerator bus costs quoted in
+  the paper ("a large constant factor of hundreds of nanoseconds per
+  interaction", §3.2).
+* :class:`MicroBlossomLatencyModel` — end-to-end latency of a Micro Blossom
+  decode: bus reads/writes + accelerator cycles + software primal time.
+* :class:`ParityBlossomLatencyModel` — CPU time of the software baseline,
+  dominated by the dual phase (Figure 2), with an O(p·|V| + 1) average shape.
+* :class:`HeliosLatencyModel` — latency of the hardware Union-Find decoder
+  used in the Figure 11 comparison (constant-factor model from [25, 26]).
+
+All constants are calibration parameters; they are chosen to land on the
+paper's published anchor points (0.8 µs at d = 13, p = 0.1% for Micro Blossom;
+4.33 µs at d = 9, p = 0.1% for Parity Blossom) and documented here so the
+shapes — scaling with p and d, improvement factors, crossovers — are produced
+by the measured operation counts rather than by the constants.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+#: Measurement round interval of superconducting qubits assumed in the paper.
+MEASUREMENT_ROUND_SECONDS = 1e-6
+
+#: Maximum accelerator clock frequency measured per code distance (Table 4).
+PAPER_CLOCK_FREQUENCY_MHZ: dict[int, float] = {
+    3: 170.0,
+    5: 141.0,
+    7: 107.0,
+    9: 93.0,
+    11: 77.0,
+    13: 62.0,
+    15: 43.0,
+}
+
+
+def accelerator_clock_frequency_hz(distance: int) -> float:
+    """Maximum clock frequency of the accelerator for a given code distance.
+
+    Distances present in Table 4 use the measured value; other distances use a
+    log-linear interpolation/extrapolation of the clock *period* versus
+    ``log2(d)`` (the critical path grows with the convergecast tree depth).
+    """
+    if distance in PAPER_CLOCK_FREQUENCY_MHZ:
+        return PAPER_CLOCK_FREQUENCY_MHZ[distance] * 1e6
+    known = sorted(PAPER_CLOCK_FREQUENCY_MHZ)
+    periods = {d: 1.0 / (PAPER_CLOCK_FREQUENCY_MHZ[d] * 1e6) for d in known}
+    if distance > known[-1]:
+        lower, upper = known[-2], known[-1]
+    elif distance < known[0]:
+        lower, upper = known[0], known[1]
+    else:
+        upper = min(d for d in known if d > distance)
+        lower = max(d for d in known if d < distance)
+    # Linear in the clock *period* versus log2(d): the critical path follows
+    # the convergecast tree depth.
+    x_low, x_high = math.log2(lower), math.log2(upper)
+    slope = (periods[upper] - periods[lower]) / (x_high - x_low)
+    period = periods[lower] + slope * (math.log2(max(distance, 2)) - x_low)
+    period = max(period, 1e-9)
+    return 1.0 / period
+
+
+@dataclass(frozen=True)
+class AcceleratorTimingModel:
+    """Clock and bus timing of the accelerator and its host CPU."""
+
+    distance: int
+    #: Pipeline stages of the accelerator micro-architecture (Figure 8).
+    pipeline_stages: int = 5
+    #: Blocking read of a response register over the AXI bus (seconds).
+    bus_read_seconds: float = 150e-9
+    #: Posted write of one instruction word over the AXI bus (seconds).
+    bus_write_seconds: float = 40e-9
+    #: Software time per primal-phase operation on the embedded CPU (seconds).
+    primal_operation_seconds: float = 90e-9
+    #: Fixed synchronisation overhead per decoding task (seconds).
+    base_overhead_seconds: float = 200e-9
+
+    @property
+    def clock_period_seconds(self) -> float:
+        return 1.0 / accelerator_clock_frequency_hz(self.distance)
+
+    def convergecast_depth(self, num_edges: int) -> int:
+        """Latency (in cycles) of the response convergecast tree, O(log |E|)."""
+        return max(1, math.ceil(math.log2(max(num_edges, 2))))
+
+    def instruction_cycles(self, num_edges: int) -> int:
+        """Cycles for one instruction to propagate, execute and report back."""
+        return self.pipeline_stages + self.convergecast_depth(num_edges)
+
+
+class MicroBlossomLatencyModel:
+    """End-to-end decoding latency of the Micro Blossom architecture."""
+
+    def __init__(self, distance: int, num_edges: int, timing: AcceleratorTimingModel | None = None) -> None:
+        self.distance = distance
+        self.num_edges = num_edges
+        self.timing = timing or AcceleratorTimingModel(distance=distance)
+
+    def latency_seconds(self, counters: Counter | dict) -> float:
+        """Latency from the operation counts of one decode.
+
+        For stream decoding the caller passes only the operations issued after
+        the final measurement round arrived (the paper measures latency from
+        the moment the last round of the syndrome is available, §8.2).
+        """
+        timing = self.timing
+        reads = int(counters.get("instr_find_obstacle", 0))
+        writes = (
+            int(counters.get("instr_grow", 0))
+            + int(counters.get("instr_set_direction", 0))
+            + int(counters.get("instr_set_cover", 0))
+            + int(counters.get("instr_load", 0))
+        )
+        instructions = reads + writes
+        primal_operations = (
+            int(counters.get("conflicts_resolved", 0))
+            + int(counters.get("blossoms_formed", 0))
+            + int(counters.get("blossoms_expanded", 0))
+            + int(counters.get("tree_attachments", 0))
+            + int(counters.get("augmentations", 0))
+            + int(counters.get("fusion_breaks", 0))
+        )
+        # Instructions stream through the pipeline at one per cycle; only the
+        # blocking response reads pay the full pipeline + convergecast depth.
+        accelerator_seconds = (
+            instructions + reads * timing.instruction_cycles(self.num_edges)
+        ) * timing.clock_period_seconds
+        bus_seconds = reads * timing.bus_read_seconds + writes * timing.bus_write_seconds
+        software_seconds = primal_operations * timing.primal_operation_seconds
+        return (
+            timing.base_overhead_seconds
+            + accelerator_seconds
+            + bus_seconds
+            + software_seconds
+        )
+
+    def expected_latency_seconds(
+        self, expected_defects_per_round: float, rounds: int
+    ) -> float:
+        """Analytic average latency of stream decoding with pre-matching.
+
+        After the final measurement round arrives the CPU performs a constant
+        amount of work plus O(p²d²) interactions for the rare non-isolated
+        Conflicts among recent rounds (paper §6.3).  ``expected_defects_per
+        _round`` scales as p·d², so the quadratic term reproduces the paper's
+        O(p²d² + 1) average latency.
+        """
+        timing = self.timing
+        base = (
+            timing.base_overhead_seconds
+            + timing.instruction_cycles(self.num_edges) * timing.clock_period_seconds
+            + timing.bus_read_seconds
+            + timing.bus_write_seconds
+        )
+        # Non-isolated Conflicts arise among defects of the last couple of
+        # measurement rounds still being fused when the final round arrives.
+        recent_defects = 2.0 * expected_defects_per_round
+        residual_interactions = recent_defects**2
+        per_interaction = (
+            timing.bus_read_seconds
+            + 2 * timing.bus_write_seconds
+            + timing.primal_operation_seconds
+            + timing.instruction_cycles(self.num_edges) * timing.clock_period_seconds
+        )
+        return base + residual_interactions * per_interaction
+
+
+@dataclass(frozen=True)
+class ParityBlossomLatencyModel:
+    """CPU latency model of the Parity Blossom software baseline.
+
+    The average decoding time of Parity Blossom is O(p·|V| + 1) with a large
+    constant per defect; the dual phase accounts for the bulk of it
+    (Figure 2).  The per-operation constants below reproduce the published
+    anchor point of 4.33 µs average latency at d = 9, p = 0.1% and keep the
+    dual share of the run time in the 70–95% band reported by the paper.
+    """
+
+    base_seconds: float = 0.15e-6
+    dual_per_defect_seconds: float = 0.8e-6
+    dual_per_growth_seconds: float = 2e-9
+    dual_per_conflict_seconds: float = 100e-9
+    primal_per_defect_seconds: float = 120e-9
+    primal_per_operation_seconds: float = 140e-9
+
+    def phase_seconds(self, counters: Counter | dict, defect_count: int) -> tuple[float, float]:
+        """Return ``(dual_seconds, primal_seconds)`` for one decode."""
+        growth = int(counters.get("total_growth", 0))
+        conflicts = int(counters.get("conflicts_reported", 0))
+        primal_operations = (
+            int(counters.get("conflicts_resolved", 0))
+            + int(counters.get("blossoms_formed", 0))
+            + int(counters.get("blossoms_expanded", 0))
+            + int(counters.get("tree_attachments", 0))
+            + int(counters.get("augmentations", 0))
+            + int(counters.get("direction_updates", 0))
+        )
+        dual = (
+            defect_count * self.dual_per_defect_seconds
+            + growth * self.dual_per_growth_seconds
+            + conflicts * self.dual_per_conflict_seconds
+        )
+        primal = (
+            defect_count * self.primal_per_defect_seconds
+            + primal_operations * self.primal_per_operation_seconds
+        )
+        return dual, primal
+
+    def latency_seconds(self, counters: Counter | dict, defect_count: int) -> float:
+        dual, primal = self.phase_seconds(counters, defect_count)
+        return self.base_seconds + dual + primal
+
+    def expected_latency_seconds(self, expected_defects: float) -> float:
+        """Analytic average latency given only the expected defect count.
+
+        Used to extrapolate the Figure 11 grid to code distances where
+        decoding every Monte-Carlo sample in Python would be too slow; the
+        O(p·|V| + 1) shape is preserved because the expected defect count
+        already scales as p·|V|.
+        """
+        per_defect = (
+            self.dual_per_defect_seconds
+            + self.primal_per_defect_seconds
+            + 2 * self.primal_per_operation_seconds
+        )
+        return self.base_seconds + expected_defects * per_defect
+
+
+@dataclass(frozen=True)
+class HeliosLatencyModel:
+    """Latency of the Helios hardware Union-Find decoder (Figure 11 baseline).
+
+    Helios grows clusters in parallel with one processing element per vertex;
+    its reported average latency is a few hundred nanoseconds and grows mildly
+    with the code distance [25, 26].
+    """
+
+    base_seconds: float = 120e-9
+    per_distance_seconds: float = 25e-9
+    per_defect_seconds: float = 6e-9
+
+    def latency_seconds(self, distance: int, defect_count: int = 0) -> float:
+        return (
+            self.base_seconds
+            + self.per_distance_seconds * distance
+            + self.per_defect_seconds * defect_count
+        )

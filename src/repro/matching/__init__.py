@@ -1,0 +1,13 @@
+"""Exact MWPM reference decoders on the dense syndrome graph."""
+
+from .brute_force import MAX_BRUTE_FORCE_DEFECTS, brute_force_matching
+from .reference import ReferenceDecoder
+from .syndrome_graph import SyndromeGraph, build_syndrome_graph
+
+__all__ = [
+    "MAX_BRUTE_FORCE_DEFECTS",
+    "brute_force_matching",
+    "ReferenceDecoder",
+    "SyndromeGraph",
+    "build_syndrome_graph",
+]

@@ -1,0 +1,91 @@
+"""Exhaustive minimum-weight perfect matching for small syndromes.
+
+This solver enumerates matchings by dynamic programming over subsets of the
+defect set, allowing each defect to be matched either to another defect or to
+the boundary.  It is exponential in the number of defects and therefore only
+used as an *independent oracle* in tests (typically up to ~14 defects), where
+it cross-checks both the networkx-based reference decoder and the blossom-based
+decoders of this package.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..graphs.syndrome import BOUNDARY, MatchingResult
+from .syndrome_graph import SyndromeGraph
+
+#: Safety limit: 2^18 subsets with an O(n) inner loop is still instantaneous,
+#: beyond that the caller should use a polynomial decoder instead.
+MAX_BRUTE_FORCE_DEFECTS = 18
+
+
+def brute_force_matching(syndrome_graph: SyndromeGraph) -> MatchingResult:
+    """Solve MWPM exactly by subset dynamic programming.
+
+    Returns a :class:`MatchingResult` with the optimal pairs and total weight.
+    """
+    defects = syndrome_graph.defects
+    n = len(defects)
+    if n > MAX_BRUTE_FORCE_DEFECTS:
+        raise ValueError(
+            f"brute force matcher limited to {MAX_BRUTE_FORCE_DEFECTS} defects, got {n}"
+        )
+    if n == 0:
+        return MatchingResult(pairs=[], weight=0)
+
+    boundary_cost = [syndrome_graph.boundary_distance[d] for d in defects]
+    pair_cost = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            cost = syndrome_graph.distance(defects[i], defects[j])
+            pair_cost[i][j] = cost
+            pair_cost[j][i] = cost
+
+    @lru_cache(maxsize=None)
+    def solve(mask: int) -> int:
+        if mask == 0:
+            return 0
+        lowest = (mask & -mask).bit_length() - 1
+        rest = mask & ~(1 << lowest)
+        best = boundary_cost[lowest] + solve(rest)
+        remaining = rest
+        while remaining:
+            j = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            candidate = pair_cost[lowest][j] + solve(rest & ~(1 << j))
+            if candidate < best:
+                best = candidate
+        return best
+
+    # Reconstruct one optimal matching by re-walking the DP decisions.
+    pairs: list[tuple[int, int]] = []
+    boundary_vertices: dict[int, int] = {}
+    mask = (1 << n) - 1
+    while mask:
+        lowest = (mask & -mask).bit_length() - 1
+        rest = mask & ~(1 << lowest)
+        total = solve(mask)
+        if boundary_cost[lowest] + solve(rest) == total:
+            pairs.append((defects[lowest], BOUNDARY))
+            boundary_vertices[defects[lowest]] = syndrome_graph.boundary_vertex[
+                defects[lowest]
+            ]
+            mask = rest
+            continue
+        chosen = None
+        remaining = rest
+        while remaining:
+            j = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            if pair_cost[lowest][j] + solve(rest & ~(1 << j)) == total:
+                chosen = j
+                break
+        if chosen is None:  # pragma: no cover - defensive, DP is self-consistent
+            raise RuntimeError("inconsistent dynamic program reconstruction")
+        pairs.append((defects[lowest], defects[chosen]))
+        mask = rest & ~(1 << chosen)
+
+    weight = solve((1 << n) - 1)
+    solve.cache_clear()
+    return MatchingResult(pairs=pairs, boundary_vertices=boundary_vertices, weight=weight)

@@ -1,0 +1,5 @@
+"""Parity Blossom software baseline (sequential primal + dual phases)."""
+
+from .decoder import ParityBlossomDecoder, ParityDecodeOutcome, SerialDualPhase
+
+__all__ = ["ParityBlossomDecoder", "ParityDecodeOutcome", "SerialDualPhase"]

@@ -1,0 +1,5 @@
+"""Union-Find decoder baseline (Helios-class approximate decoder)."""
+
+from .decoder import UnionFindDecoder, UnionFindOutcome
+
+__all__ = ["UnionFindDecoder", "UnionFindOutcome"]

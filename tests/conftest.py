@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    GraphBuilder,
+    SyndromeSampler,
+    circuit_level_noise,
+    code_capacity_noise,
+    phenomenological_noise,
+    repetition_code_decoding_graph,
+    surface_code_decoding_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def surface_d3_circuit():
+    """Distance-3 rotated surface code under circuit-level noise."""
+    return surface_code_decoding_graph(3, circuit_level_noise(0.01))
+
+
+@pytest.fixture(scope="session")
+def surface_d5_circuit():
+    """Distance-5 rotated surface code under circuit-level noise."""
+    return surface_code_decoding_graph(5, circuit_level_noise(0.005))
+
+
+@pytest.fixture(scope="session")
+def surface_d5_code_capacity():
+    """Distance-5 rotated surface code under code-capacity noise (2D graph)."""
+    return surface_code_decoding_graph(5, code_capacity_noise(0.05))
+
+
+@pytest.fixture(scope="session")
+def repetition_d5_phenomenological():
+    """Distance-5 repetition code under phenomenological noise."""
+    return repetition_code_decoding_graph(5, phenomenological_noise(0.02))
+
+
+@pytest.fixture()
+def sampler_d3(surface_d3_circuit):
+    return SyndromeSampler(surface_d3_circuit, seed=1234)
+
+
+@pytest.fixture()
+def path_graph_builder():
+    """A tiny hand-built path graph: virtual - a - b - c - virtual.
+
+    Useful for unit tests of the dual phase where every weight and distance
+    must be known exactly.  All edges use probability 0.1 against a reference
+    of 0.1, so every quantised weight is the maximum (14) and the internal
+    doubled weight is 28.
+    """
+
+    def build(weights=None):
+        builder = GraphBuilder()
+        left = builder.add_vertex(0, 0, -1, is_virtual=True)
+        a = builder.add_vertex(0, 0, 0)
+        b = builder.add_vertex(0, 0, 1)
+        c = builder.add_vertex(0, 0, 2)
+        right = builder.add_vertex(0, 0, 3, is_virtual=True)
+        builder.add_edge(left, a, 0.1, 0.1, observable=True, kind="boundary")
+        builder.add_edge(a, b, 0.1, 0.1, kind="spatial")
+        builder.add_edge(b, c, 0.1, 0.1, kind="spatial")
+        builder.add_edge(c, right, 0.1, 0.1, kind="boundary")
+        return builder.build()
+
+    return build

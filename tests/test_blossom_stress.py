@@ -1,0 +1,105 @@
+"""Stress tests targeting deep blossom structures (formation, nesting, expansion).
+
+High physical error rates produce dense defect clusters that force the primal
+module through its hardest code paths: blossoms made of blossoms, shrinking
+blossoms that must be expanded, and augmentations through blossom interiors.
+Each case is still verified against the independent reference decoder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MicroBlossomDecoder
+from repro.graphs import (
+    SyndromeSampler,
+    circuit_level_noise,
+    code_capacity_noise,
+    phenomenological_noise,
+    repetition_code_decoding_graph,
+    surface_code_decoding_graph,
+)
+from repro.matching import ReferenceDecoder
+from repro.parity import ParityBlossomDecoder
+
+
+def decode_and_check(graph, syndrome, reference):
+    optimal = reference.decode(syndrome).weight
+    outcomes = {}
+    for name, decoder in (
+        ("micro", MicroBlossomDecoder(graph)),
+        ("parity", ParityBlossomDecoder(graph)),
+    ):
+        outcome = decoder.decode_detailed(syndrome)
+        assert outcome.result.weight == optimal, name
+        outcomes[name] = outcome
+    return outcomes
+
+
+class TestDenseSyndromes:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_high_noise_surface_code(self, seed):
+        graph = surface_code_decoding_graph(5, code_capacity_noise(0.25))
+        sampler = SyndromeSampler(graph, seed=seed)
+        reference = ReferenceDecoder(graph)
+        blossoms = 0
+        expansions = 0
+        for _ in range(6):
+            syndrome = sampler.sample()
+            if not syndrome.defects:
+                continue
+            outcomes = decode_and_check(graph, syndrome, reference)
+            blossoms += outcomes["micro"].counters.get("blossoms_formed", 0)
+            expansions += outcomes["micro"].counters.get("blossoms_expanded", 0)
+        assert blossoms >= 1, "high-noise decoding should exercise blossom formation"
+
+    def test_blossoms_are_expanded_somewhere(self):
+        """Across a batch of dense circuit-level syndromes at least one
+        shrinking blossom must hit y = 0 and be expanded (obstacle 2a)."""
+        graph = surface_code_decoding_graph(5, circuit_level_noise(0.15))
+        sampler = SyndromeSampler(graph, seed=11)
+        reference = ReferenceDecoder(graph)
+        decoder = ParityBlossomDecoder(graph)
+        expansions = 0
+        for _ in range(10):
+            syndrome = sampler.sample()
+            if not syndrome.defects:
+                continue
+            outcome = decoder.decode_detailed(syndrome)
+            assert outcome.result.weight == reference.decode(syndrome).weight
+            expansions += outcome.counters.get("blossoms_expanded", 0)
+        assert expansions >= 1
+
+    def test_half_filled_syndrome(self):
+        """An adversarial syndrome: every other vertex of one layer is a defect."""
+        graph = surface_code_decoding_graph(5, code_capacity_noise(0.05))
+        reference = ReferenceDecoder(graph)
+        real = [v for v in range(graph.num_vertices) if not graph.is_virtual(v)]
+        from repro.graphs import Syndrome
+
+        defects = tuple(real[::2])
+        syndrome = Syndrome(defects=defects)
+        decode_and_check(graph, syndrome, reference)
+
+    def test_all_vertices_defective(self):
+        """The densest possible syndrome still decodes exactly."""
+        graph = repetition_code_decoding_graph(7, code_capacity_noise(0.1))
+        reference = ReferenceDecoder(graph)
+        from repro.graphs import Syndrome
+
+        defects = tuple(
+            v for v in range(graph.num_vertices) if not graph.is_virtual(v)
+        )
+        syndrome = Syndrome(defects=defects)
+        decode_and_check(graph, syndrome, reference)
+
+    def test_circuit_level_high_noise_stream(self):
+        graph = surface_code_decoding_graph(3, circuit_level_noise(0.15))
+        sampler = SyndromeSampler(graph, seed=13)
+        reference = ReferenceDecoder(graph)
+        stream = MicroBlossomDecoder(graph, stream=True)
+        for _ in range(10):
+            syndrome = sampler.sample()
+            if not syndrome.defects:
+                continue
+            assert stream.decode(syndrome).weight == reference.decode(syndrome).weight

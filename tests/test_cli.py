@@ -1,0 +1,85 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDecodeCommand:
+    def test_decode_micro_blossom(self, capsys):
+        exit_code = main(
+            [
+                "decode",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.02",
+                "--samples",
+                "3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "defects" in output
+        assert len(output.splitlines()) >= 5
+
+    def test_decode_union_find(self, capsys):
+        exit_code = main(
+            [
+                "decode",
+                "--distance",
+                "3",
+                "--samples",
+                "2",
+                "--decoder",
+                "union-find",
+            ]
+        )
+        assert exit_code == 0
+        assert "correction_edges" in capsys.readouterr().out
+
+    def test_decode_reports_optimal_weight(self, capsys):
+        main(["decode", "--distance", "3", "--samples", "2", "--decoder", "parity-blossom"])
+        output = capsys.readouterr().out
+        assert "optimal" in output
+
+
+class TestOtherCommands:
+    def test_resources_command(self, capsys):
+        assert main(["resources"]) == 0
+        output = capsys.readouterr().out
+        assert "luts" in output
+        assert "13" in output
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "paper_luts" in capsys.readouterr().out
+
+    def test_accuracy_command(self, capsys):
+        exit_code = main(
+            [
+                "accuracy",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.03",
+                "--samples",
+                "50",
+                "--decoder",
+                "reference",
+            ]
+        )
+        assert exit_code == 0
+        assert "logical_error_rate" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

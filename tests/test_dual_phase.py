@@ -1,0 +1,212 @@
+"""Unit tests for the cover-based dual phase (DualGraphState)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Conflict,
+    DualPhaseError,
+    Finished,
+    GrowLength,
+    GROW,
+    HOLD,
+    SHRINK,
+)
+from repro.core.dual import DualGraphState
+
+
+@pytest.fixture()
+def path_graph(path_graph_builder):
+    return path_graph_builder()
+
+
+def internal_weight(graph, dual):
+    """Internal (scaled) weight of the uniform edges of the path graph."""
+    return graph.edges[0].weight * dual.scale
+
+
+class TestLoading:
+    def test_load_marks_defects_and_default_direction(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 3])
+        assert dual.is_defect[1] and dual.is_defect[3]
+        assert dual.radius_of(1) == 0
+        assert dual.direction_of(1) == GROW
+        assert dual.direction_of(2) == HOLD
+
+    def test_load_rejects_virtual_defect(self, path_graph):
+        dual = DualGraphState(path_graph)
+        with pytest.raises(DualPhaseError):
+            dual.load([0])
+
+    def test_partial_layer_load_leaves_other_layers_boundary(self, surface_d3_circuit):
+        dual = DualGraphState(surface_d3_circuit)
+        layer0 = surface_d3_circuit.vertices_in_layer(0)
+        defect = next(
+            v for v in layer0 if not surface_d3_circuit.is_virtual(v)
+        )
+        dual.load([defect], layers={0})
+        other_layer_vertex = surface_d3_circuit.vertices_in_layer(1)[0]
+        assert dual.is_boundary_node(other_layer_vertex)
+        assert not dual.is_boundary_node(defect)
+
+    def test_load_defect_outside_loaded_layers_raises(self, surface_d3_circuit):
+        dual = DualGraphState(surface_d3_circuit)
+        layer1_defect = next(
+            v
+            for v in surface_d3_circuit.vertices_in_layer(1)
+            if not surface_d3_circuit.is_virtual(v)
+        )
+        with pytest.raises(DualPhaseError):
+            dual.load([layer1_defect], layers={0})
+
+    def test_reset_clears_state(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1])
+        dual.reset()
+        assert dual.loaded_defects() == []
+
+    def test_invalid_scale_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            DualGraphState(path_graph, scale=0)
+
+
+class TestGrowthAndConflicts:
+    def test_single_defect_reaches_boundary(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1])
+        obstacle = dual.find_obstacle()
+        assert isinstance(obstacle, GrowLength)
+        assert obstacle.length == internal_weight(path_graph, dual)
+        dual.grow(obstacle.length)
+        conflict = dual.find_obstacle()
+        assert isinstance(conflict, Conflict)
+        assert conflict.node_1 == 1
+        assert dual.is_boundary_node(conflict.node_2)
+        assert conflict.touch_2 == 0  # the left virtual vertex
+
+    def test_two_defects_conflict_in_the_middle(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 3])
+        obstacle = dual.find_obstacle()
+        assert isinstance(obstacle, GrowLength)
+        # Vertices 1 and 3 are two edges apart; they grow toward each other at
+        # combined rate 2, but each also approaches its own boundary at rate 1.
+        w = internal_weight(path_graph, dual)
+        assert obstacle.length == w
+        dual.grow(obstacle.length)
+        conflict = dual.find_obstacle()
+        assert isinstance(conflict, Conflict)
+        involved = {conflict.node_1, conflict.node_2}
+        assert involved <= {1, 3, 0, 4}
+
+    def test_growth_stops_at_uncovered_vertex(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1])
+        obstacle = dual.find_obstacle()
+        # The first stop is exactly at the neighbouring vertices (distance w).
+        assert obstacle.length == internal_weight(path_graph, dual)
+
+    def test_no_defects_is_finished(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([])
+        assert isinstance(dual.find_obstacle(), Finished)
+
+    def test_hold_direction_stops_growth(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1])
+        dual.set_direction(1, HOLD)
+        assert isinstance(dual.find_obstacle(), Finished)
+        dual.grow(5)
+        assert dual.radius_of(1) == 0
+
+    def test_grow_requires_positive_length(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1])
+        with pytest.raises(ValueError):
+            dual.grow(0)
+
+    def test_set_direction_validation(self, path_graph):
+        dual = DualGraphState(path_graph)
+        with pytest.raises(ValueError):
+            dual.set_direction(1, 3)
+
+    def test_conflict_reports_tight_touch_pair(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2])
+        obstacle = dual.find_obstacle()
+        dual.grow(obstacle.length)
+        conflict = dual.find_obstacle()
+        assert isinstance(conflict, Conflict)
+        touches = {conflict.touch_1, conflict.touch_2}
+        # The tight edge is realised by the two defects themselves or by a
+        # defect and its adjacent boundary vertex.
+        assert touches <= {0, 1, 2}
+
+
+class TestBlossomBookkeeping:
+    def test_create_blossom_reroots_defects(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2, 3])
+        blossom_id = path_graph.num_vertices
+        dual.create_blossom([1, 2, 3], blossom_id)
+        assert dual.defect_root[1] == blossom_id
+        assert dual.defect_root[2] == blossom_id
+        assert dual.direction_of(blossom_id) == GROW
+
+    def test_create_blossom_rejects_duplicate_id(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2])
+        with pytest.raises(DualPhaseError):
+            dual.create_blossom([1, 2], 1)
+
+    def test_expand_blossom_restores_roots(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2, 3])
+        blossom_id = path_graph.num_vertices
+        dual.create_blossom([1, 2, 3], blossom_id)
+        dual.expand_blossom(blossom_id, {1: 1, 2: 2, 3: 3})
+        assert dual.defect_root[1] == 1
+        assert dual.direction_of(blossom_id) == HOLD
+
+    def test_expand_blossom_requires_complete_mapping(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2, 3])
+        blossom_id = path_graph.num_vertices
+        dual.create_blossom([1, 2, 3], blossom_id)
+        with pytest.raises(DualPhaseError):
+            dual.expand_blossom(blossom_id, {1: 1})
+
+    def test_expand_blossom_checks_root(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2])
+        with pytest.raises(DualPhaseError):
+            dual.expand_blossom(99, {1: 1})
+
+    def test_grow_tracks_blossom_direction(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 2, 3])
+        blossom_id = path_graph.num_vertices
+        dual.create_blossom([1, 2, 3], blossom_id)
+        dual.set_direction(blossom_id, SHRINK)
+        obstacle = dual.find_obstacle()
+        assert isinstance(obstacle, Finished) or isinstance(obstacle, GrowLength)
+
+
+class TestCounters:
+    def test_counters_track_instructions(self, path_graph):
+        dual = DualGraphState(path_graph)
+        dual.load([1, 3])
+        dual.find_obstacle()
+        dual.grow(2)
+        dual.set_direction(1, HOLD)
+        assert dual.counters["instr_load"] == 1
+        assert dual.counters["instr_find_obstacle"] == 1
+        assert dual.counters["instr_grow"] == 1
+        assert dual.counters["instr_set_direction"] == 1
+        assert dual.counters["total_growth"] == 2
+
+    def test_weight_units_conversion(self, path_graph):
+        dual = DualGraphState(path_graph, scale=2)
+        assert dual.weight_units(4) == 2.0

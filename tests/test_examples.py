@@ -1,0 +1,63 @@
+"""Every example script must run end to end with small parameters."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_COMMANDS = {
+    "quickstart.py": ["--distance", "3", "--error-rate", "0.01", "--seed", "3"],
+    "stream_decoding.py": [
+        "--distance",
+        "3",
+        "--rounds",
+        "2",
+        "3",
+        "--samples",
+        "3",
+    ],
+    "accuracy_comparison.py": ["--distances", "3", "--samples", "60"],
+    "resource_planning.py": ["--distances", "3", "13"],
+}
+
+
+def run_example(name: str, arguments: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name,arguments", sorted(EXAMPLE_COMMANDS.items()))
+def test_example_runs(name, arguments):
+    completed = run_example(name, arguments)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_all_examples_are_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLE_COMMANDS), (
+        "every example script must have a smoke test entry"
+    )
+
+
+def test_quickstart_reports_exactness():
+    completed = run_example("quickstart.py", EXAMPLE_COMMANDS["quickstart.py"])
+    assert "exact" in completed.stdout
+    assert "µs" in completed.stdout
+
+
+def test_resource_planning_mentions_boards():
+    completed = run_example(
+        "resource_planning.py", EXAMPLE_COMMANDS["resource_planning.py"]
+    )
+    assert "VMK180" in completed.stdout
+    assert "VP1902" in completed.stdout

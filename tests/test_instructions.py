@@ -1,0 +1,109 @@
+"""Tests for the accelerator instruction-set encoding (Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instructions import (
+    MAX_GROW_LENGTH,
+    MAX_NODE_INDEX,
+    Instruction,
+    Opcode,
+    decode_instruction,
+    encode_instruction,
+    find_conflict_word,
+    grow_word,
+    load_defects_word,
+    reset_word,
+    set_cover_word,
+    set_direction_word,
+)
+
+
+class TestRoundTrip:
+    def test_reset(self):
+        word = reset_word()
+        decoded = decode_instruction(word)
+        assert decoded.opcode is Opcode.RESET
+
+    def test_find_conflict(self):
+        decoded = decode_instruction(find_conflict_word())
+        assert decoded.opcode is Opcode.FIND_CONFLICT
+
+    @pytest.mark.parametrize("length", [0, 1, 37, MAX_GROW_LENGTH])
+    def test_grow(self, length):
+        decoded = decode_instruction(grow_word(length))
+        assert decoded.opcode is Opcode.GROW
+        assert decoded.length == length
+
+    @pytest.mark.parametrize("node", [0, 5, 1000, MAX_NODE_INDEX])
+    @pytest.mark.parametrize("direction", [-1, 0, 1])
+    def test_set_direction(self, node, direction):
+        decoded = decode_instruction(set_direction_word(node, direction))
+        assert decoded.opcode is Opcode.SET_DIRECTION
+        assert decoded.node == node
+        assert decoded.direction == direction
+
+    @pytest.mark.parametrize("source,target", [(0, 1), (7, 7), (MAX_NODE_INDEX, 3)])
+    def test_set_cover(self, source, target):
+        decoded = decode_instruction(set_cover_word(source, target))
+        assert decoded.opcode is Opcode.SET_COVER
+        assert decoded.cover_source == source
+        assert decoded.cover_target == target
+
+    @pytest.mark.parametrize("layer", [0, 3, 30])
+    def test_load_defects(self, layer):
+        decoded = decode_instruction(load_defects_word(layer))
+        assert decoded.opcode is Opcode.LOAD_DEFECTS
+        assert decoded.payload == layer
+
+
+class TestValidation:
+    def test_grow_length_too_large(self):
+        with pytest.raises(ValueError):
+            grow_word(MAX_GROW_LENGTH + 1)
+
+    def test_node_index_too_large(self):
+        with pytest.raises(ValueError):
+            set_direction_word(MAX_NODE_INDEX + 1, 1)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            set_direction_word(0, 2)
+
+    def test_set_direction_requires_arguments(self):
+        with pytest.raises(ValueError):
+            encode_instruction(Instruction(opcode=Opcode.SET_DIRECTION))
+
+    def test_set_cover_requires_arguments(self):
+        with pytest.raises(ValueError):
+            encode_instruction(Instruction(opcode=Opcode.SET_COVER))
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            decode_instruction(1 << 33)
+
+    def test_words_are_32_bit(self):
+        for word in (
+            reset_word(),
+            find_conflict_word(),
+            grow_word(12345),
+            set_direction_word(321, -1),
+            set_cover_word(11, 22),
+            load_defects_word(9),
+        ):
+            assert 0 <= word < (1 << 32)
+
+    def test_distinct_opcode_encodings(self):
+        words = {
+            reset_word(),
+            find_conflict_word(),
+            grow_word(0),
+            load_defects_word(0),
+            set_cover_word(0, 0),
+        }
+        assert len(words) == 5
+
+    def test_instruction_encode_method(self):
+        instruction = Instruction(opcode=Opcode.GROW, length=5)
+        assert instruction.encode() == grow_word(5)

@@ -1,0 +1,202 @@
+"""Tests of the latency/timing models and latency statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.latency import (
+    MEASUREMENT_ROUND_SECONDS,
+    PAPER_CLOCK_FREQUENCY_MHZ,
+    AcceleratorTimingModel,
+    EffectiveErrorRate,
+    HeliosLatencyModel,
+    LatencyStatistics,
+    MicroBlossomLatencyModel,
+    ParityBlossomLatencyModel,
+    accelerator_clock_frequency_hz,
+    cutoff_latency,
+    effective_error_rate,
+    exponential_tail_fit,
+    survival_histogram,
+)
+
+
+class TestClockModel:
+    @pytest.mark.parametrize("distance,mhz", sorted(PAPER_CLOCK_FREQUENCY_MHZ.items()))
+    def test_table_values_reproduced(self, distance, mhz):
+        assert accelerator_clock_frequency_hz(distance) == pytest.approx(mhz * 1e6)
+
+    def test_frequency_decreases_with_distance(self):
+        frequencies = [accelerator_clock_frequency_hz(d) for d in (3, 7, 11, 15)]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_extrapolation_beyond_table(self):
+        f17 = accelerator_clock_frequency_hz(17)
+        f21 = accelerator_clock_frequency_hz(21)
+        assert 0 < f21 < f17 < accelerator_clock_frequency_hz(15)
+
+
+class TestAcceleratorTiming:
+    def test_instruction_cycles_grow_logarithmically(self):
+        timing = AcceleratorTimingModel(distance=9)
+        assert timing.instruction_cycles(64) < timing.instruction_cycles(4096)
+        assert timing.convergecast_depth(1024) == 10
+
+    def test_clock_period(self):
+        timing = AcceleratorTimingModel(distance=13)
+        assert timing.clock_period_seconds == pytest.approx(1 / 62e6)
+
+
+class TestMicroBlossomLatency:
+    def make_counters(self, reads=2, grows=1, conflicts=0):
+        return Counter(
+            {
+                "instr_find_obstacle": reads,
+                "instr_grow": grows,
+                "instr_set_direction": conflicts * 2,
+                "conflicts_resolved": conflicts,
+                "instr_load": 1,
+            }
+        )
+
+    def test_minimal_decode_is_sub_microsecond_at_d13(self):
+        """The paper's headline: 0.8 µs average latency at d = 13, p = 0.1%.
+
+        In stream decoding with pre-matching, the typical work left after the
+        final measurement round is one grow plus one blocking obstacle query.
+        """
+        model = MicroBlossomLatencyModel(distance=13, num_edges=5629)
+        latency = model.latency_seconds(self.make_counters(reads=1, grows=1))
+        assert latency < 1.0e-6
+        assert latency > 0.2e-6
+
+    def test_latency_increases_with_cpu_interactions(self):
+        model = MicroBlossomLatencyModel(distance=9, num_edges=1737)
+        quiet = model.latency_seconds(self.make_counters(reads=1, grows=0))
+        busy = model.latency_seconds(self.make_counters(reads=10, grows=8, conflicts=5))
+        assert busy > quiet
+
+    def test_expected_latency_scales_quadratically_in_defects(self):
+        model = MicroBlossomLatencyModel(distance=9, num_edges=1737)
+        low = model.expected_latency_seconds(0.5, rounds=9)
+        high = model.expected_latency_seconds(5.0, rounds=9)
+        assert high > low
+        assert (high - model.expected_latency_seconds(0.0, 9)) > 50 * (
+            low - model.expected_latency_seconds(0.0, 9)
+        )
+
+
+class TestParityBlossomLatency:
+    def test_anchor_point_near_published_value(self):
+        """About 4.33 µs average at d = 9, p = 0.1% (a handful of defects)."""
+        model = ParityBlossomLatencyModel()
+        counters = Counter({"total_growth": 200, "conflicts_reported": 3})
+        latency = model.latency_seconds(counters, defect_count=4)
+        assert 2e-6 < latency < 8e-6
+
+    def test_dual_phase_dominates(self):
+        model = ParityBlossomLatencyModel()
+        counters = Counter({"total_growth": 100, "conflicts_reported": 2})
+        dual, primal = model.phase_seconds(counters, defect_count=4)
+        assert dual > primal
+        assert dual / (dual + primal) > 0.6
+
+    def test_latency_grows_with_defects(self):
+        model = ParityBlossomLatencyModel()
+        empty = model.latency_seconds(Counter(), 0)
+        loaded = model.latency_seconds(Counter(), 40)
+        assert loaded > 10 * empty
+
+    def test_expected_latency_linear_in_defects(self):
+        model = ParityBlossomLatencyModel()
+        slope1 = model.expected_latency_seconds(10) - model.expected_latency_seconds(5)
+        slope2 = model.expected_latency_seconds(15) - model.expected_latency_seconds(10)
+        assert slope1 == pytest.approx(slope2)
+
+
+class TestHeliosLatency:
+    def test_sub_microsecond(self):
+        model = HeliosLatencyModel()
+        assert model.latency_seconds(15, defect_count=10) < 1e-6
+
+    def test_grows_with_distance(self):
+        model = HeliosLatencyModel()
+        assert model.latency_seconds(15) > model.latency_seconds(3)
+
+
+class TestEffectiveErrorRate:
+    def test_zero_latency_gives_plain_rate(self):
+        effective = EffectiveErrorRate(1e-6, 0.0, distance=9)
+        assert effective.value == pytest.approx(1e-6)
+        assert effective.additional_error_ratio(1e-6) == pytest.approx(0.0)
+
+    def test_latency_inflates_rate(self):
+        # L = d rounds doubles the effective logical error rate.
+        latency = 9 * MEASUREMENT_ROUND_SECONDS
+        effective = EffectiveErrorRate(1e-6, latency, distance=9)
+        assert effective.value == pytest.approx(2e-6)
+        assert effective.additional_error_ratio(1e-6) == pytest.approx(1.0)
+
+    def test_worse_decoder_has_higher_ratio(self):
+        mwpm = 1e-6
+        union_find = EffectiveErrorRate(5e-6, 0.0, distance=9)
+        assert union_find.additional_error_ratio(mwpm) == pytest.approx(4.0)
+
+    def test_helper_function(self):
+        assert effective_error_rate(1e-6, 0.0, 9) == pytest.approx(1e-6)
+
+    def test_invalid_reference_rate(self):
+        effective = EffectiveErrorRate(1e-6, 0.0, distance=9)
+        with pytest.raises(ValueError):
+            effective.additional_error_ratio(0.0)
+
+
+class TestLatencyStatistics:
+    def test_summary(self):
+        stats = LatencyStatistics.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.maximum == 4.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStatistics.from_samples([])
+
+    def test_cutoff_latency_monotone_in_k(self):
+        latencies = [float(i) for i in range(1, 1001)]
+        p_logical = 0.01
+        strict = cutoff_latency(latencies, p_logical, k=0.1)
+        loose = cutoff_latency(latencies, p_logical, k=1.0)
+        assert strict >= loose
+
+    def test_cutoff_latency_saturates_at_maximum(self):
+        latencies = [1.0, 2.0, 3.0]
+        assert cutoff_latency(latencies, 1e-9, k=0.01) == 3.0
+
+    def test_cutoff_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            cutoff_latency([], 0.1, 1.0)
+        with pytest.raises(ValueError):
+            cutoff_latency([1.0], 0.0, 1.0)
+
+    def test_exponential_tail_fit_recovers_decay(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        decay = 2.0
+        samples = rng.exponential(decay, size=20000).tolist()
+        _intercept, fitted = exponential_tail_fit(samples, tail_fraction=0.5)
+        # Survival drops by 10x every ``decay * ln(10)`` latency units.
+        assert fitted == pytest.approx(decay * np.log(10), rel=0.2)
+
+    def test_tail_fit_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            exponential_tail_fit([1.0, 2.0])
+
+    def test_survival_histogram_decreasing(self):
+        points = survival_histogram([float(i) for i in range(100)], bins=10)
+        survivals = [s for _, s in points]
+        assert survivals == sorted(survivals, reverse=True)
+        assert survivals[0] == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the noise models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    NoiseModel,
+    NoiseModelError,
+    circuit_level_noise,
+    code_capacity_noise,
+    noise_model_by_name,
+    phenomenological_noise,
+)
+
+
+class TestFactories:
+    def test_code_capacity_has_no_temporal_errors(self):
+        model = code_capacity_noise(0.01)
+        assert model.temporal == 0.0
+        assert model.diagonal == 0.0
+        assert not model.is_three_dimensional
+
+    def test_phenomenological_has_temporal_errors(self):
+        model = phenomenological_noise(0.01)
+        assert model.temporal == 0.01
+        assert model.diagonal == 0.0
+        assert model.is_three_dimensional
+
+    def test_circuit_level_has_diagonal_errors(self):
+        model = circuit_level_noise(0.01)
+        assert model.diagonal > 0.0
+        assert model.is_three_dimensional
+
+    def test_circuit_level_hook_fraction_scales_diagonal(self):
+        full = circuit_level_noise(0.01, hook_fraction=1.0)
+        half = circuit_level_noise(0.01, hook_fraction=0.5)
+        assert half.diagonal == pytest.approx(full.diagonal / 2)
+
+    def test_invalid_hook_fraction_rejected(self):
+        with pytest.raises(NoiseModelError):
+            circuit_level_noise(0.01, hook_fraction=0.0)
+        with pytest.raises(NoiseModelError):
+            circuit_level_noise(0.01, hook_fraction=1.5)
+
+
+class TestValidation:
+    def test_zero_spatial_probability_rejected(self):
+        with pytest.raises(NoiseModelError):
+            NoiseModel("custom", spatial=0.0, temporal=0.0, diagonal=0.0, boundary=0.0)
+
+    @pytest.mark.parametrize("bad", [-0.01, 0.5, 0.9])
+    def test_out_of_range_probability_rejected(self, bad):
+        with pytest.raises(NoiseModelError):
+            NoiseModel("custom", spatial=bad, temporal=0.0, diagonal=0.0, boundary=0.01)
+
+    def test_minimum_probability_ignores_zero_entries(self):
+        model = NoiseModel(
+            "custom", spatial=0.01, temporal=0.0, diagonal=0.0, boundary=0.002
+        )
+        assert model.minimum_probability == 0.002
+
+    def test_probability_for_kind(self):
+        model = circuit_level_noise(0.01)
+        assert model.probability_for_kind("spatial") == 0.01
+        assert model.probability_for_kind("temporal") == 0.01
+        assert model.probability_for_kind("diagonal") == pytest.approx(0.005)
+        assert model.probability_for_kind("boundary") == 0.01
+
+
+class TestByName:
+    @pytest.mark.parametrize(
+        "name", ["code_capacity", "phenomenological", "circuit_level"]
+    )
+    def test_known_names(self, name):
+        model = noise_model_by_name(name, 0.01)
+        assert model.name == name
+        assert model.spatial == 0.01
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(NoiseModelError):
+            noise_model_by_name("depolarizing", 0.01)

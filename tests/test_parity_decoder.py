@@ -1,0 +1,102 @@
+"""Tests of the Parity Blossom software baseline decoder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    SyndromeSampler,
+    circuit_level_noise,
+    phenomenological_noise,
+    surface_code_decoding_graph,
+)
+from repro.matching import ReferenceDecoder
+from repro.parity import ParityBlossomDecoder, ParityDecodeOutcome
+
+
+@pytest.fixture(scope="module")
+def parity_setup():
+    graph = surface_code_decoding_graph(5, circuit_level_noise(0.02))
+    return graph, ParityBlossomDecoder(graph), ReferenceDecoder(graph)
+
+
+class TestExactness:
+    def test_matches_reference_weight(self, parity_setup):
+        graph, decoder, reference = parity_setup
+        sampler = SyndromeSampler(graph, seed=31)
+        for _ in range(25):
+            syndrome = sampler.sample()
+            if not syndrome.defects:
+                continue
+            assert decoder.decode(syndrome).weight == reference.decode(syndrome).weight
+
+    def test_perfect_matching(self, parity_setup):
+        graph, decoder, _ = parity_setup
+        sampler = SyndromeSampler(graph, seed=32)
+        for _ in range(10):
+            syndrome = sampler.sample()
+            decoder.decode(syndrome).validate_perfect(syndrome.defects)
+
+    def test_phenomenological_noise(self):
+        graph = surface_code_decoding_graph(5, phenomenological_noise(0.03))
+        decoder = ParityBlossomDecoder(graph)
+        reference = ReferenceDecoder(graph)
+        sampler = SyndromeSampler(graph, seed=33)
+        for _ in range(10):
+            syndrome = sampler.sample()
+            if not syndrome.defects:
+                continue
+            assert decoder.decode(syndrome).weight == reference.decode(syndrome).weight
+
+
+class TestCpuCostAccounting:
+    def test_defect_reads_match_defect_count(self, parity_setup):
+        graph, decoder, _ = parity_setup
+        sampler = SyndromeSampler(graph, seed=34)
+        syndrome = None
+        for _ in range(30):
+            candidate = sampler.sample()
+            if candidate.defect_count >= 2:
+                syndrome = candidate
+                break
+        assert syndrome is not None
+        outcome = decoder.decode_detailed(syndrome)
+        assert isinstance(outcome, ParityDecodeOutcome)
+        assert outcome.counters["defect_reads"] == syndrome.defect_count
+        assert outcome.defect_count == syndrome.defect_count
+
+    def test_dual_work_positive_for_nonempty_syndrome(self, parity_setup):
+        graph, decoder, _ = parity_setup
+        sampler = SyndromeSampler(graph, seed=35)
+        syndrome = None
+        for _ in range(30):
+            candidate = sampler.sample()
+            if candidate.defect_count:
+                syndrome = candidate
+                break
+        assert syndrome is not None
+        outcome = decoder.decode_detailed(syndrome)
+        assert outcome.dual_work > 0
+        assert outcome.primal_work > 0
+
+    def test_empty_syndrome_outcome(self, parity_setup):
+        graph, decoder, _ = parity_setup
+        from repro.graphs import Syndrome
+
+        outcome = decoder.decode_detailed(Syndrome(defects=()))
+        assert outcome.result.pairs == []
+        assert outcome.weight == 0
+
+    def test_equivalence_with_micro_blossom(self, parity_setup):
+        """The paper states Micro Blossom is logically equivalent to Parity
+        Blossom: both must find matchings of identical total weight."""
+        from repro.core import MicroBlossomDecoder
+
+        graph, decoder, _ = parity_setup
+        micro = MicroBlossomDecoder(graph)
+        sampler = SyndromeSampler(graph, seed=36)
+        for _ in range(15):
+            syndrome = sampler.sample()
+            if not syndrome.defects:
+                continue
+            assert decoder.decode(syndrome).weight == micro.decode(syndrome).weight

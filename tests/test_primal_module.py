@@ -1,0 +1,159 @@
+"""Scenario tests for the software primal module (alternating trees, blossoms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DualPhaseError, GROW, HOLD, MicroBlossomAccelerator, PrimalModule
+from repro.core.dual import DualGraphState
+from repro.graphs import BOUNDARY, GraphBuilder
+
+
+def build_triangle_graph():
+    """Three defect-capable vertices pairwise connected, far from the boundary.
+
+    The boundary is attached through a long chain so that the three mutually
+    adjacent defects prefer to form a blossom before any of them reaches it.
+    """
+    builder = GraphBuilder()
+    a = builder.add_vertex(0, 0, 0)
+    b = builder.add_vertex(0, 0, 1)
+    c = builder.add_vertex(0, 1, 0)
+    hop = builder.add_vertex(0, 2, 0)
+    virtual = builder.add_vertex(0, 3, 0, is_virtual=True)
+    # Triangle edges are cheap (high probability -> low weight); the path to
+    # the boundary is expensive.
+    builder.add_edge(a, b, 0.3, 0.001)
+    builder.add_edge(b, c, 0.3, 0.001)
+    builder.add_edge(a, c, 0.3, 0.001)
+    builder.add_edge(c, hop, 0.001, 0.001, observable=True)
+    builder.add_edge(hop, virtual, 0.001, 0.001)
+    return builder.build(), (a, b, c)
+
+
+class TestBasicScenarios:
+    def test_single_defect_matches_boundary(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1])
+        primal = PrimalModule(graph, dual)
+        primal.register_defect(1)
+        primal.run()
+        result = primal.collect_matching()
+        assert result.pairs == [(1, BOUNDARY)]
+        assert result.boundary_vertices[1] == 0
+
+    def test_adjacent_defects_match_each_other(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1, 2])
+        primal = PrimalModule(graph, dual)
+        for defect in (1, 2):
+            primal.register_defect(defect)
+        primal.run()
+        result = primal.collect_matching()
+        assert len(result.pairs) == 1
+        assert set(result.pairs[0]) == {1, 2}
+        assert primal.counters["augmentations"] >= 1
+
+    def test_three_defects_in_a_row(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1, 2, 3])
+        primal = PrimalModule(graph, dual)
+        for defect in (1, 2, 3):
+            primal.register_defect(defect)
+        primal.run()
+        result = primal.collect_matching()
+        result.validate_perfect([1, 2, 3])
+        # One defect pairs with a neighbour, the remaining one exits through
+        # its boundary; total weight is twice the uniform edge weight.
+        from repro.graphs.syndrome import matching_weight
+
+        assert matching_weight(graph, result) == 2 * graph.edges[0].weight
+
+    def test_triangle_forms_blossom(self):
+        graph, (a, b, c) = build_triangle_graph()
+        dual = DualGraphState(graph)
+        dual.load([a, b, c])
+        primal = PrimalModule(graph, dual)
+        for defect in (a, b, c):
+            primal.register_defect(defect)
+        primal.run()
+        result = primal.collect_matching()
+        result.validate_perfect([a, b, c])
+        assert primal.counters["blossoms_formed"] >= 1
+
+    def test_lazy_discovery_without_registration(self, path_graph_builder):
+        """In Micro Blossom mode the CPU never reads the syndrome directly."""
+        graph = path_graph_builder()
+        accelerator = MicroBlossomAccelerator(graph, enable_prematching=False)
+        accelerator.load([1, 2])
+        primal = PrimalModule(graph, accelerator)
+        primal.run()
+        result = primal.collect_matching()
+        assert len(result.pairs) == 1
+        assert set(result.pairs[0]) == {1, 2}
+        assert primal.counters["defect_reads"] == 0
+        assert primal.counters["nodes_discovered"] == 2
+
+
+class TestStructuralInvariants:
+    def test_outer_nodes_all_matched_after_run(self, surface_d5_circuit):
+        from repro.graphs import SyndromeSampler
+
+        sampler = SyndromeSampler(surface_d5_circuit, seed=17)
+        for _ in range(10):
+            syndrome = sampler.sample()
+            dual = DualGraphState(surface_d5_circuit)
+            dual.load(syndrome.defects)
+            primal = PrimalModule(surface_d5_circuit, dual)
+            for defect in syndrome.defects:
+                primal.register_defect(defect)
+            primal.run()
+            for node in primal.outer_nodes():
+                assert node.is_matched
+                assert node.direction == HOLD
+
+    def test_collect_matching_requires_completion(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1, 3])
+        primal = PrimalModule(graph, dual)
+        primal.register_defect(1)
+        primal.register_defect(3)
+        with pytest.raises(DualPhaseError):
+            primal.collect_matching()
+
+    def test_ensure_node_rejects_boundary_vertex(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1])
+        primal = PrimalModule(graph, dual)
+        with pytest.raises(DualPhaseError):
+            primal._ensure_node(0)
+
+    def test_ensure_node_rejects_unknown_blossom(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1])
+        primal = PrimalModule(graph, dual)
+        with pytest.raises(DualPhaseError):
+            primal._ensure_node(graph.num_vertices + 5)
+
+    def test_register_defect_counts_reads(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1, 3])
+        primal = PrimalModule(graph, dual)
+        primal.register_defect(1)
+        primal.register_defect(3)
+        assert primal.counters["defect_reads"] == 2
+
+    def test_defects_of_singleton(self, path_graph_builder):
+        graph = path_graph_builder()
+        dual = DualGraphState(graph)
+        dual.load([1])
+        primal = PrimalModule(graph, dual)
+        primal.register_defect(1)
+        assert primal._defects_of(1) == {1}

@@ -1,0 +1,66 @@
+"""Tests for the repetition-code decoding graph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    NoiseModelError,
+    circuit_level_noise,
+    code_capacity_noise,
+    phenomenological_noise,
+    repetition_code_decoding_graph,
+)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("distance", [3, 5, 9])
+    def test_vertex_count(self, distance):
+        graph = repetition_code_decoding_graph(distance, code_capacity_noise(0.05))
+        # (d - 1) stabilizers plus two virtual end vertices, single layer.
+        assert graph.num_vertices == distance + 1
+        assert len(graph.virtual_vertices) == 2
+
+    def test_three_dimensional_layers(self):
+        graph = repetition_code_decoding_graph(5, phenomenological_noise(0.02))
+        assert graph.num_layers == 5
+        assert graph.num_vertices == 5 * (4 + 2)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            repetition_code_decoding_graph(2, code_capacity_noise(0.05))
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            repetition_code_decoding_graph(
+                5, phenomenological_noise(0.02), rounds=0
+            )
+
+    def test_circuit_level_requires_two_rounds(self):
+        with pytest.raises(NoiseModelError):
+            repetition_code_decoding_graph(5, circuit_level_noise(0.02), rounds=1)
+
+    def test_circuit_level_has_diagonals(self):
+        graph = repetition_code_decoding_graph(5, circuit_level_noise(0.02))
+        assert any(edge.kind == "diagonal" for edge in graph.edges)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_code_distance(self, distance):
+        """A logical error requires flipping all d data qubits in one round."""
+        graph = repetition_code_decoding_graph(distance, code_capacity_noise(0.05))
+        left, right = graph.virtual_vertices
+        path = graph.shortest_path_edges(left, right)
+        assert len(path) == distance
+
+    def test_observable_is_left_boundary(self):
+        graph = repetition_code_decoding_graph(5, code_capacity_noise(0.05))
+        assert len(graph.observable_edges) == 1
+        (edge_index,) = graph.observable_edges
+        edge = graph.edges[edge_index]
+        assert graph.is_virtual(edge.u) or graph.is_virtual(edge.v)
+
+    def test_metadata(self):
+        graph = repetition_code_decoding_graph(7, phenomenological_noise(0.01))
+        assert graph.metadata["code"] == "repetition"
+        assert graph.metadata["distance"] == 7
+        assert graph.metadata["rounds"] == 7

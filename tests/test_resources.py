@@ -1,0 +1,106 @@
+"""Tests of the FPGA resource model (Table 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resources import (
+    PAPER_TABLE_4,
+    VMK180_LUTS,
+    VP1902_LUTS,
+    estimate_resources,
+    maximum_distance_for_luts,
+    minimum_frequency_for_sub_microsecond,
+    paper_edge_count,
+    paper_row,
+    paper_vertex_count,
+    resource_table,
+    vpu_state_bits,
+)
+
+
+class TestGraphSizeFormulas:
+    @pytest.mark.parametrize("distance", sorted(PAPER_TABLE_4))
+    def test_vertex_count_matches_table(self, distance):
+        assert paper_vertex_count(distance) == PAPER_TABLE_4[distance]["V"]
+
+    @pytest.mark.parametrize("distance", sorted(PAPER_TABLE_4))
+    def test_edge_count_matches_table(self, distance):
+        assert paper_edge_count(distance) == PAPER_TABLE_4[distance]["E"]
+
+    def test_edge_count_extrapolates_cubically(self):
+        e17 = paper_edge_count(17)
+        e15 = paper_edge_count(15)
+        assert e17 > e15
+        assert e17 < e15 * 2
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            paper_vertex_count(4)
+
+
+class TestResourceEstimates:
+    @pytest.mark.parametrize("distance", sorted(PAPER_TABLE_4))
+    def test_lut_estimate_within_twenty_percent(self, distance):
+        estimate = estimate_resources(distance)
+        published = PAPER_TABLE_4[distance]["luts"]
+        assert abs(estimate.luts - published) / published < 0.20
+
+    @pytest.mark.parametrize("distance", sorted(PAPER_TABLE_4))
+    def test_vpu_bits_close_to_table(self, distance):
+        estimate = estimate_resources(distance)
+        published = PAPER_TABLE_4[distance]["vpu_bits"]
+        assert abs(estimate.vpu_state_bits - published) <= 4
+
+    def test_epu_bits_match_table(self):
+        for distance in PAPER_TABLE_4:
+            assert estimate_resources(distance).epu_state_bits == 4
+
+    def test_resources_grow_monotonically(self):
+        estimates = resource_table()
+        luts = [e.luts for e in estimates]
+        memory = [e.fpga_memory_bits for e in estimates]
+        assert luts == sorted(luts)
+        assert memory == sorted(memory)
+
+    def test_clock_frequency_from_table(self):
+        assert estimate_resources(13).clock_frequency_mhz == pytest.approx(62.0)
+
+    def test_custom_graph_sizes(self, surface_d3_circuit):
+        estimate = estimate_resources(
+            3,
+            num_vertices=surface_d3_circuit.num_vertices,
+            num_edges=surface_d3_circuit.num_edges,
+        )
+        assert estimate.num_vertices == surface_d3_circuit.num_vertices
+        assert estimate.num_edges == surface_d3_circuit.num_edges
+
+    def test_paper_row_lookup(self):
+        assert paper_row(13)["luts"] == 553_000
+        assert paper_row(17) is None
+
+    def test_fits_on(self):
+        assert estimate_resources(13).fits_on(VMK180_LUTS)
+        assert not estimate_resources(21).fits_on(VMK180_LUTS)
+
+
+class TestScalingConclusions:
+    def test_vmk180_supports_up_to_d15(self):
+        """§8.4: the VMK180 (900 k LUTs) supports up to d = 15."""
+        assert maximum_distance_for_luts(VMK180_LUTS) == 15
+
+    def test_vp1902_supports_about_d31(self):
+        """§8.4: the largest SoC (8.5 M LUTs) supports up to about d = 31."""
+        assert maximum_distance_for_luts(VP1902_LUTS) in (29, 31, 33)
+
+    def test_minimum_frequency_anchor(self):
+        """§8.4: sub-µs latency at d = 15 needs at least 68 MHz."""
+        assert minimum_frequency_for_sub_microsecond(15) == pytest.approx(68.0)
+
+    def test_minimum_frequency_scales_with_d_squared(self):
+        f15 = minimum_frequency_for_sub_microsecond(15)
+        f30 = minimum_frequency_for_sub_microsecond(30)
+        assert f30 == pytest.approx(4 * f15)
+
+    def test_vpu_bits_grow_with_graph_size(self):
+        assert vpu_state_bits(2000, 15) > vpu_state_bits(24, 3)

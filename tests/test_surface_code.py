@@ -1,0 +1,114 @@
+"""Tests for the rotated-surface-code decoding graph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    NoiseModelError,
+    SurfaceCodeLayout,
+    circuit_level_noise,
+    code_capacity_noise,
+    phenomenological_noise,
+    surface_code_decoding_graph,
+)
+
+
+class TestLayout:
+    @pytest.mark.parametrize("distance", [3, 5, 7, 9])
+    def test_vertex_counts(self, distance):
+        layout = SurfaceCodeLayout(distance)
+        assert layout.rows == distance - 1
+        assert layout.cols == (distance + 1) // 2
+        assert layout.real_vertices_per_layer == (distance - 1) * (distance + 1) // 2
+        assert layout.virtual_vertices_per_layer == 2
+
+    @pytest.mark.parametrize("distance", [2, 4, 1, -3])
+    def test_invalid_distance_rejected(self, distance):
+        with pytest.raises(ValueError):
+            SurfaceCodeLayout(distance)
+
+
+class TestGraphStructure:
+    def test_code_capacity_is_two_dimensional(self):
+        graph = surface_code_decoding_graph(5, code_capacity_noise(0.05))
+        assert graph.num_layers == 1
+        assert all(edge.kind != "temporal" for edge in graph.edges)
+        assert all(edge.kind != "diagonal" for edge in graph.edges)
+
+    def test_phenomenological_default_rounds_equals_distance(self):
+        graph = surface_code_decoding_graph(5, phenomenological_noise(0.01))
+        assert graph.num_layers == 5
+        assert any(edge.kind == "temporal" for edge in graph.edges)
+        assert all(edge.kind != "diagonal" for edge in graph.edges)
+
+    def test_circuit_level_has_diagonal_edges(self):
+        graph = surface_code_decoding_graph(5, circuit_level_noise(0.01))
+        assert any(edge.kind == "diagonal" for edge in graph.edges)
+
+    def test_explicit_rounds(self):
+        graph = surface_code_decoding_graph(5, circuit_level_noise(0.01), rounds=3)
+        assert graph.num_layers == 3
+
+    def test_circuit_level_needs_two_rounds(self):
+        with pytest.raises(NoiseModelError):
+            surface_code_decoding_graph(5, circuit_level_noise(0.01), rounds=1)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_vertex_count_formula(self, distance):
+        graph = surface_code_decoding_graph(distance, phenomenological_noise(0.01))
+        per_layer = (distance - 1) * (distance + 1) // 2 + 2
+        assert graph.num_vertices == per_layer * distance
+
+    def test_vertex_count_scales_as_d_cubed(self):
+        small = surface_code_decoding_graph(3, circuit_level_noise(0.01)).num_vertices
+        large = surface_code_decoding_graph(9, circuit_level_noise(0.01)).num_vertices
+        # d^3 scaling: the ratio should be close to (9/3)^3 = 27 up to the
+        # additive boundary terms.
+        assert 10 < large / small < 40
+
+    def test_metadata_records_configuration(self):
+        graph = surface_code_decoding_graph(5, circuit_level_noise(0.002))
+        assert graph.metadata["code"] == "rotated_surface"
+        assert graph.metadata["distance"] == 5
+        assert graph.metadata["noise_model"] == "circuit_level"
+        assert graph.metadata["physical_error_rate"] == 0.002
+
+    def test_two_virtual_vertices_per_layer(self):
+        graph = surface_code_decoding_graph(5, phenomenological_noise(0.01))
+        per_layer = {}
+        for vertex in graph.virtual_vertices:
+            layer = graph.vertices[vertex].layer
+            per_layer[layer] = per_layer.get(layer, 0) + 1
+        assert all(count == 2 for count in per_layer.values())
+        assert len(per_layer) == graph.num_layers
+
+
+class TestCodeDistance:
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_minimum_logical_chain_has_d_edges(self, distance):
+        """The cheapest error chain connecting the two boundaries (a logical
+        error) must contain exactly ``d`` edges."""
+        graph = surface_code_decoding_graph(distance, code_capacity_noise(0.01))
+        top, bottom = graph.virtual_vertices
+        path = graph.shortest_path_edges(top, bottom)
+        assert len(path) == distance
+
+    def test_boundaries_not_directly_connected(self):
+        graph = surface_code_decoding_graph(5, circuit_level_noise(0.01))
+        for top in graph.virtual_vertices:
+            for bottom in graph.virtual_vertices:
+                if top != bottom:
+                    assert graph.edge_between(top, bottom) is None
+
+    def test_observable_edges_are_top_boundary_cut(self):
+        graph = surface_code_decoding_graph(3, code_capacity_noise(0.01))
+        for edge_index in graph.observable_edges:
+            edge = graph.edges[edge_index]
+            assert graph.is_virtual(edge.u) or graph.is_virtual(edge.v)
+
+    def test_logical_chain_flips_observable_once(self):
+        graph = surface_code_decoding_graph(3, code_capacity_noise(0.01))
+        top, bottom = graph.virtual_vertices
+        chain = graph.shortest_path_edges(top, bottom)
+        assert graph.crosses_observable(chain)

@@ -1,0 +1,111 @@
+"""Tests of the Union-Find decoder baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Syndrome,
+    SyndromeSampler,
+    circuit_level_noise,
+    code_capacity_noise,
+    residual_defects,
+    surface_code_decoding_graph,
+)
+from repro.matching import ReferenceDecoder
+from repro.unionfind import UnionFindDecoder
+
+
+class TestCorrectionValidity:
+    def test_empty_syndrome_empty_correction(self, surface_d3_circuit):
+        decoder = UnionFindDecoder(surface_d3_circuit)
+        assert decoder.decode_to_correction(Syndrome(defects=())) == set()
+
+    def test_correction_annihilates_defects(self, surface_d5_circuit):
+        decoder = UnionFindDecoder(surface_d5_circuit)
+        sampler = SyndromeSampler(surface_d5_circuit, seed=41)
+        for _ in range(30):
+            syndrome = sampler.sample()
+            correction = decoder.decode_to_correction(syndrome)
+            assert residual_defects(surface_d5_circuit, syndrome, correction) == ()
+
+    def test_single_error_corrected_exactly(self, surface_d3_circuit):
+        decoder = UnionFindDecoder(surface_d3_circuit)
+        sampler = SyndromeSampler(surface_d3_circuit, seed=42)
+        edge = next(
+            e
+            for e in surface_d3_circuit.edges
+            if not surface_d3_circuit.is_virtual(e.u)
+            and not surface_d3_circuit.is_virtual(e.v)
+        )
+        syndrome = sampler.syndrome_from_errors([edge.index])
+        correction = decoder.decode_to_correction(syndrome)
+        assert residual_defects(surface_d3_circuit, syndrome, correction) == ()
+        # The correction must not flip the logical observable differently from
+        # the single error itself.
+        assert surface_d3_circuit.crosses_observable(correction) == syndrome.logical_flip
+
+    def test_single_defect_next_to_boundary(self, surface_d3_circuit):
+        decoder = UnionFindDecoder(surface_d3_circuit)
+        sampler = SyndromeSampler(surface_d3_circuit, seed=43)
+        boundary_edge = next(iter(surface_d3_circuit.observable_edges))
+        syndrome = sampler.syndrome_from_errors([boundary_edge])
+        correction = decoder.decode_to_correction(syndrome)
+        assert residual_defects(surface_d3_circuit, syndrome, correction) == ()
+
+    def test_outcome_statistics(self, surface_d5_circuit):
+        decoder = UnionFindDecoder(surface_d5_circuit)
+        sampler = SyndromeSampler(surface_d5_circuit, seed=44)
+        syndrome = None
+        for _ in range(30):
+            candidate = sampler.sample()
+            if candidate.defect_count >= 2:
+                syndrome = candidate
+                break
+        assert syndrome is not None
+        outcome = decoder.decode_detailed(syndrome)
+        assert outcome.growth_rounds >= 1
+        assert outcome.counters["edges_grown"] >= 1
+
+
+class TestAccuracyRelativeToMWPM:
+    def test_not_much_worse_than_mwpm_in_aggregate(self):
+        """Union-Find approximates MWPM: it may lose accuracy but must stay
+        within a small factor at moderate noise (the paper quotes ~1.7x for
+        Helios-class decoders and ~5x for plain UF at larger distances)."""
+        graph = surface_code_decoding_graph(3, code_capacity_noise(0.08))
+        sampler = SyndromeSampler(graph, seed=45)
+        union_find = UnionFindDecoder(graph)
+        reference = ReferenceDecoder(graph)
+        uf_errors = 0
+        mwpm_errors = 0
+        samples = 300
+        for _ in range(samples):
+            syndrome = sampler.sample()
+            correction = union_find.decode_to_correction(syndrome)
+            if graph.crosses_observable(correction) != syndrome.logical_flip:
+                uf_errors += 1
+            from repro.graphs import is_logical_error
+
+            if syndrome.defects:
+                if is_logical_error(graph, syndrome, reference.decode(syndrome)):
+                    mwpm_errors += 1
+            elif syndrome.logical_flip:
+                mwpm_errors += 1
+        assert mwpm_errors > 0, "noise level too low to compare decoders"
+        assert uf_errors >= mwpm_errors * 0.5
+        assert uf_errors <= mwpm_errors * 6 + 10
+
+    def test_never_fails_on_weight_one_errors(self):
+        """Any single error must be decoded without a logical error (this is
+        what 'distance d >= 3' means for a decoder)."""
+        graph = surface_code_decoding_graph(3, circuit_level_noise(0.01))
+        decoder = UnionFindDecoder(graph)
+        sampler = SyndromeSampler(graph, seed=46)
+        for edge in graph.edges:
+            syndrome = sampler.syndrome_from_errors([edge.index])
+            correction = decoder.decode_to_correction(syndrome)
+            assert residual_defects(graph, syndrome, correction) == ()
+            assert (
+                graph.crosses_observable(correction) == syndrome.logical_flip
+            ), f"single error on edge {edge.index} misdecoded"
