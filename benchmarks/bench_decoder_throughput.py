@@ -8,11 +8,8 @@ the "is the simulator itself usable" counterpart to the figure benchmarks.
 
 from __future__ import annotations
 
-from repro.core import MicroBlossomDecoder
+from repro.api import MicroBlossomConfig, get_decoder
 from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
-from repro.matching import ReferenceDecoder
-from repro.parity import ParityBlossomDecoder
-from repro.unionfind import UnionFindDecoder
 
 DISTANCE = 5
 ERROR_RATE = 0.005
@@ -28,7 +25,7 @@ def _setup():
 
 def bench_micro_blossom_decoder(benchmark):
     graph, syndromes = _setup()
-    decoder = MicroBlossomDecoder(graph, stream=True)
+    decoder = get_decoder("micro-blossom", graph)
 
     def run():
         return [decoder.decode(s).weight for s in syndromes]
@@ -39,7 +36,7 @@ def bench_micro_blossom_decoder(benchmark):
 
 def bench_parity_blossom_decoder(benchmark):
     graph, syndromes = _setup()
-    decoder = ParityBlossomDecoder(graph)
+    decoder = get_decoder("parity-blossom", graph)
 
     def run():
         return [decoder.decode(s).weight for s in syndromes]
@@ -50,7 +47,7 @@ def bench_parity_blossom_decoder(benchmark):
 
 def bench_reference_decoder(benchmark):
     graph, syndromes = _setup()
-    decoder = ReferenceDecoder(graph)
+    decoder = get_decoder("reference", graph)
 
     def run():
         return [decoder.decode(s).weight for s in syndromes]
@@ -61,7 +58,7 @@ def bench_reference_decoder(benchmark):
 
 def bench_union_find_decoder(benchmark):
     graph, syndromes = _setup()
-    decoder = UnionFindDecoder(graph)
+    decoder = get_decoder("union-find", graph)
 
     def run():
         return [len(decoder.decode_to_correction(s)) for s in syndromes]
@@ -73,8 +70,14 @@ def bench_union_find_decoder(benchmark):
 def bench_prematching_ablation(benchmark):
     """Ablation: pre-matching reduces the CPU-visible Conflict reports."""
     graph, syndromes = _setup()
-    with_prematch = MicroBlossomDecoder(graph, enable_prematching=True)
-    without_prematch = MicroBlossomDecoder(graph, enable_prematching=False)
+    with_prematch = get_decoder(
+        "micro-blossom-batch", graph, MicroBlossomConfig(stream=False)
+    )
+    without_prematch = get_decoder(
+        "micro-blossom-batch",
+        graph,
+        MicroBlossomConfig(enable_prematching=False, stream=False),
+    )
 
     def run():
         conflicts_with = sum(

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import MicroBlossomDecoder
 from repro.evaluation import estimate_logical_error_rate, format_rows
 from repro.graphs import circuit_level_noise, surface_code_decoding_graph
 from repro.latency import (
@@ -30,7 +29,6 @@ from repro.latency import (
     HeliosLatencyModel,
     MicroBlossomLatencyModel,
 )
-from repro.unionfind import UnionFindDecoder
 
 
 def main() -> None:
@@ -51,10 +49,10 @@ def main() -> None:
             distance, circuit_level_noise(args.error_rate)
         )
         mwpm = estimate_logical_error_rate(
-            graph, MicroBlossomDecoder(graph), args.samples, seed=args.seed
+            graph, "micro-blossom", args.samples, seed=args.seed
         )
         union_find = estimate_logical_error_rate(
-            graph, UnionFindDecoder(graph), args.samples, seed=args.seed
+            graph, "union-find", args.samples, seed=args.seed
         )
         penalty = (union_find.rate / mwpm.rate) if mwpm.rate else float("nan")
 

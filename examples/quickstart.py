@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import MicroBlossomDecoder
+from repro.api import available_decoders, get_decoder
 from repro.evaluation import expected_defect_count
 from repro.graphs import (
     SyndromeSampler,
@@ -29,7 +29,6 @@ from repro.graphs import (
     surface_code_decoding_graph,
 )
 from repro.latency import MicroBlossomLatencyModel
-from repro.matching import ReferenceDecoder
 
 
 def main() -> None:
@@ -42,6 +41,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"== Micro Blossom quickstart (d={args.distance}, p={args.error_rate}) ==")
+    print(f"registered decoders: {', '.join(available_decoders())}")
     graph = surface_code_decoding_graph(
         args.distance, circuit_level_noise(args.error_rate)
     )
@@ -54,7 +54,7 @@ def main() -> None:
         syndrome = sampler.sample()
     print(f"\nsampled syndrome with {syndrome.defect_count} defects: {syndrome.defects}")
 
-    decoder = MicroBlossomDecoder(graph, stream=True)
+    decoder = get_decoder("micro-blossom", graph)
     outcome = decoder.decode_detailed(syndrome)
     print("\nmatching (defect pairs; -1 means matched to the boundary):")
     for pair in outcome.result.pairs:
@@ -63,7 +63,7 @@ def main() -> None:
     print(f"pre-matched in hardware: {outcome.prematched_pairs} pair(s)")
     print(f"conflicts escalated to the CPU: {outcome.counters['conflicts_resolved']}")
 
-    reference = ReferenceDecoder(graph)
+    reference = get_decoder("reference", graph)
     optimal = reference.decode(syndrome).weight
     assert outcome.result.weight == optimal, "Micro Blossom must be exact"
     print(f"reference MWPM weight: {optimal}  -> exact ✔")

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import get_decoder
 from repro.evaluation import format_rows, stream_vs_batch
-from repro.core import MicroBlossomDecoder
 from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
 from repro.latency import MicroBlossomLatencyModel
 
@@ -34,7 +34,7 @@ def show_single_stream_decode(distance: int, error_rate: float, seed: int) -> No
     while syndrome.defect_count < 2:
         syndrome = sampler.sample()
     print(f"decoding a syndrome with {syndrome.defect_count} defects round by round:")
-    decoder = MicroBlossomDecoder(graph, stream=True)
+    decoder = get_decoder("micro-blossom", graph)
     outcome = decoder.decode_detailed(syndrome)
     per_layer = {}
     for defect in syndrome.defects:

@@ -18,8 +18,67 @@ latency.  This package provides:
   (:mod:`repro.latency`, :mod:`repro.resources`, :mod:`repro.evaluation`).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import graphs
+from . import api, graphs
+from .api import (
+    BatchOutcome,
+    DecodeOutcome,
+    Decoder,
+    DecoderConfig,
+    DecoderSession,
+    MicroBlossomConfig,
+    ParityBlossomConfig,
+    ReferenceConfig,
+    UnionFindConfig,
+    available_decoders,
+    decode_batch,
+    get_decoder,
+    register_decoder,
+)
+# The decoder classes are exported lazily (PEP 562) so that ``import repro``
+# stays light — matching the registry, which also imports backends on demand
+# (``ReferenceDecoder`` pulls in networkx, for example).
+_DECODER_EXPORTS = {
+    "MicroBlossomDecoder": "core",
+    "ReferenceDecoder": "matching",
+    "ParityBlossomDecoder": "parity",
+    "UnionFindDecoder": "unionfind",
+}
 
-__all__ = ["graphs", "__version__"]
+
+def __getattr__(name: str):
+    module_name = _DECODER_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module_name}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DECODER_EXPORTS))
+
+
+__all__ = [
+    "api",
+    "graphs",
+    "__version__",
+    "BatchOutcome",
+    "DecodeOutcome",
+    "Decoder",
+    "DecoderConfig",
+    "DecoderSession",
+    "MicroBlossomConfig",
+    "ParityBlossomConfig",
+    "ReferenceConfig",
+    "UnionFindConfig",
+    "available_decoders",
+    "decode_batch",
+    "get_decoder",
+    "register_decoder",
+    "MicroBlossomDecoder",
+    "ReferenceDecoder",
+    "ParityBlossomDecoder",
+    "UnionFindDecoder",
+]

@@ -1,0 +1,66 @@
+"""Unified decoder API: protocol, registry, sessions and batch decoding.
+
+This package is the single entry point to every decoder backend:
+
+* :class:`~repro.api.protocol.Decoder` — the typed contract every backend
+  implements (``decode`` / ``decode_to_correction`` / ``decode_detailed``);
+* :class:`~repro.api.outcome.DecodeOutcome` — the shared outcome base class;
+* the registry (:func:`register_decoder`, :func:`get_decoder`,
+  :func:`available_decoders`) with per-decoder
+  :class:`~repro.api.config.DecoderConfig` dataclasses;
+* :class:`~repro.api.session.DecoderSession` — builds the accelerator/engine
+  state once and reuses it shot after shot;
+* :func:`~repro.api.batch.decode_batch` — aggregate batch decoding with
+  optional multiprocessing fan-out.
+
+Quickstart::
+
+    from repro.api import DecoderSession, MicroBlossomConfig
+    session = DecoderSession(graph, "micro-blossom", MicroBlossomConfig())
+    outcome = session.decode_detailed(syndrome)
+    batch = session.decode_batch(syndromes, workers=4)
+"""
+
+# NOTE: ``.outcome`` must be imported before any module that (transitively)
+# imports the decoder packages, because those packages import
+# ``repro.api.outcome`` themselves.
+from .outcome import DecodeOutcome
+from .protocol import Decoder
+from .config import (
+    DecoderConfig,
+    MicroBlossomConfig,
+    ParityBlossomConfig,
+    ReferenceConfig,
+    UnionFindConfig,
+)
+from .registry import (
+    DecoderSpec,
+    UnknownDecoderError,
+    available_decoders,
+    decoder_spec,
+    get_decoder,
+    register_decoder,
+    unregister_decoder,
+)
+from .session import DecoderSession
+from .batch import BatchOutcome, decode_batch
+
+__all__ = [
+    "DecodeOutcome",
+    "Decoder",
+    "DecoderConfig",
+    "MicroBlossomConfig",
+    "ParityBlossomConfig",
+    "ReferenceConfig",
+    "UnionFindConfig",
+    "DecoderSpec",
+    "UnknownDecoderError",
+    "available_decoders",
+    "decoder_spec",
+    "get_decoder",
+    "register_decoder",
+    "unregister_decoder",
+    "DecoderSession",
+    "BatchOutcome",
+    "decode_batch",
+]

@@ -1,0 +1,65 @@
+"""Per-decoder configuration dataclasses.
+
+Each registry entry owns one :class:`DecoderConfig` subclass whose fields map
+one-to-one onto the keyword arguments of the backend's constructor.  Configs
+are frozen (hashable, safe to share between sessions and worker processes)
+and replace the ad-hoc ``**kwargs`` that used to be threaded through
+``cli.py`` and the evaluation harness.
+
+This module depends on nothing but the standard library so the decoder
+packages and the registry can both import it freely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import asdict, dataclass
+
+#: Default internal dual scale (half-weight units).  Mirrors
+#: :data:`repro.core.dual.DEFAULT_DUAL_SCALE`, which cannot be imported here
+#: without a circular import; ``tests/test_api.py`` asserts they stay equal.
+DEFAULT_DUAL_SCALE = 2
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Base class of all decoder configurations."""
+
+    def to_kwargs(self) -> dict:
+        """Constructor keyword arguments for the backend."""
+        return asdict(self)
+
+    def replace(self, **changes) -> "DecoderConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MicroBlossomConfig(DecoderConfig):
+    """Configuration of the Micro Blossom heterogeneous decoder.
+
+    ``stream`` selects round-wise fusion (paper §6); ``enable_prematching``
+    the in-accelerator handling of isolated Conflicts (paper §5.2); ``scale``
+    the internal dual scale in half-weight units.
+    """
+
+    enable_prematching: bool = True
+    stream: bool = True
+    scale: int = DEFAULT_DUAL_SCALE
+
+
+@dataclass(frozen=True)
+class ParityBlossomConfig(DecoderConfig):
+    """Configuration of the Parity Blossom software (CPU) baseline."""
+
+    scale: int = DEFAULT_DUAL_SCALE
+
+
+@dataclass(frozen=True)
+class UnionFindConfig(DecoderConfig):
+    """Configuration of the Union-Find decoder (no tunables yet)."""
+
+
+@dataclass(frozen=True)
+class ReferenceConfig(DecoderConfig):
+    """Configuration of the reference MWPM decoder (no tunables yet)."""

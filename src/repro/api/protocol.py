@@ -1,0 +1,44 @@
+"""The typed decoder contract implemented by every backend.
+
+The :class:`Decoder` protocol is the single surface the CLI, the Monte-Carlo
+harness, the batch API and the examples program against.  All four built-in
+backends (``micro-blossom``, ``parity-blossom``, ``union-find``,
+``reference``) satisfy it structurally — no inheritance required — and
+user-registered decoders only need to provide the same three methods.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.syndrome import MatchingResult, Syndrome
+from .outcome import DecodeOutcome
+
+
+@runtime_checkable
+class Decoder(Protocol):
+    """What every decoder of this package exposes.
+
+    ``decode`` returns the defect-level matching, ``decode_to_correction``
+    the physical correction (decoding-graph edge indices), and
+    ``decode_detailed`` the full :class:`~repro.api.outcome.DecodeOutcome`
+    with the operation counts consumed by the latency models.
+    """
+
+    #: Stable registry-style identifier of the backend.
+    name: str
+    #: The decoding graph the decoder was built for.
+    graph: DecodingGraph
+
+    def decode(self, syndrome: Syndrome) -> MatchingResult:
+        """Return the defect-level matching for one syndrome."""
+        ...
+
+    def decode_to_correction(self, syndrome: Syndrome) -> set[int]:
+        """Return the correction as a set of decoding-graph edge indices."""
+        ...
+
+    def decode_detailed(self, syndrome: Syndrome) -> DecodeOutcome:
+        """Return the matching/correction plus all recorded statistics."""
+        ...

@@ -1,0 +1,178 @@
+"""String-keyed decoder registry.
+
+The registry is the single place that maps stable decoder names (the ones
+accepted by the CLI's ``--decoder`` flag, by :class:`~repro.api.session.DecoderSession`
+and by :func:`~repro.api.batch.decode_batch`) onto backend constructors and
+their :class:`~repro.api.config.DecoderConfig` classes.
+
+Built-in backends are imported lazily inside their factory functions so that
+``repro.api`` never imports the decoder packages at module level (they import
+:mod:`repro.api.outcome` themselves, which would be circular).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..graphs.decoding_graph import DecodingGraph
+from .config import (
+    DecoderConfig,
+    MicroBlossomConfig,
+    ParityBlossomConfig,
+    ReferenceConfig,
+    UnionFindConfig,
+)
+
+
+class UnknownDecoderError(KeyError):
+    """Raised when a decoder name is not present in the registry."""
+
+
+@dataclass(frozen=True)
+class DecoderSpec:
+    """One registry entry: how to build a decoder and configure it."""
+
+    name: str
+    factory: Callable[[DecodingGraph, DecoderConfig], object]
+    config_cls: type[DecoderConfig]
+    description: str = ""
+    default_config: DecoderConfig | None = field(default=None)
+
+    def make_config(self) -> DecoderConfig:
+        return self.default_config if self.default_config is not None else self.config_cls()
+
+
+_REGISTRY: dict[str, DecoderSpec] = {}
+
+
+def register_decoder(
+    name: str,
+    factory: Callable[[DecodingGraph, DecoderConfig], object],
+    config_cls: type[DecoderConfig] = DecoderConfig,
+    description: str = "",
+    default_config: DecoderConfig | None = None,
+    overwrite: bool = False,
+) -> DecoderSpec:
+    """Register a decoder backend under a stable string name.
+
+    ``factory(graph, config)`` must return an object satisfying the
+    :class:`~repro.api.protocol.Decoder` protocol.  Re-registering an existing
+    name raises ``ValueError`` unless ``overwrite=True``.
+    """
+    if not name:
+        raise ValueError("decoder name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"decoder {name!r} is already registered (pass overwrite=True to replace)"
+        )
+    spec = DecoderSpec(
+        name=name,
+        factory=factory,
+        config_cls=config_cls,
+        description=description,
+        default_config=default_config,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_decoder(name: str) -> None:
+    """Remove a registered decoder (mainly for tests of user extensions)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_decoders() -> tuple[str, ...]:
+    """Sorted names of every registered decoder."""
+    return tuple(sorted(_REGISTRY))
+
+
+def decoder_spec(name: str) -> DecoderSpec:
+    """Look up a registry entry, raising :class:`UnknownDecoderError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownDecoderError(
+            f"unknown decoder {name!r}; available: {', '.join(available_decoders())}"
+        ) from None
+
+
+def get_decoder(
+    name: str,
+    graph: DecodingGraph,
+    config: DecoderConfig | None = None,
+):
+    """Build the decoder registered under ``name`` for ``graph``.
+
+    ``config`` must be an instance of the entry's config class (the entry's
+    default configuration is used when omitted).
+    """
+    spec = decoder_spec(name)
+    if config is None:
+        config = spec.make_config()
+    elif not isinstance(config, spec.config_cls):
+        raise TypeError(
+            f"decoder {name!r} expects a {spec.config_cls.__name__}, "
+            f"got {type(config).__name__}"
+        )
+    return spec.factory(graph, config)
+
+
+# ---------------------------------------------------------------------------
+# built-in backends (factories import lazily to avoid circular imports)
+# ---------------------------------------------------------------------------
+def _build_micro_blossom(graph: DecodingGraph, config: DecoderConfig):
+    from ..core.decoder import MicroBlossomDecoder
+
+    return MicroBlossomDecoder(graph, **config.to_kwargs())
+
+
+def _build_parity_blossom(graph: DecodingGraph, config: DecoderConfig):
+    from ..parity.decoder import ParityBlossomDecoder
+
+    return ParityBlossomDecoder(graph, **config.to_kwargs())
+
+
+def _build_union_find(graph: DecodingGraph, config: DecoderConfig):
+    from ..unionfind.decoder import UnionFindDecoder
+
+    return UnionFindDecoder(graph, **config.to_kwargs())
+
+
+def _build_reference(graph: DecodingGraph, config: DecoderConfig):
+    from ..matching.reference import ReferenceDecoder
+
+    return ReferenceDecoder(graph, **config.to_kwargs())
+
+
+register_decoder(
+    "micro-blossom",
+    _build_micro_blossom,
+    MicroBlossomConfig,
+    "Micro Blossom heterogeneous decoder with round-wise fusion (stream mode)",
+)
+register_decoder(
+    "micro-blossom-batch",
+    _build_micro_blossom,
+    MicroBlossomConfig,
+    "Micro Blossom decoding all measurement rounds at once (batch mode)",
+    default_config=MicroBlossomConfig(stream=False),
+)
+register_decoder(
+    "parity-blossom",
+    _build_parity_blossom,
+    ParityBlossomConfig,
+    "Parity Blossom software MWPM baseline (sequential CPU phases)",
+)
+register_decoder(
+    "union-find",
+    _build_union_find,
+    UnionFindConfig,
+    "Weighted-growth Union-Find decoder (Helios-class approximation)",
+)
+register_decoder(
+    "reference",
+    _build_reference,
+    ReferenceConfig,
+    "Reference exact MWPM decoder on the dense syndrome graph",
+)

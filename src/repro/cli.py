@@ -6,6 +6,10 @@ The CLI exposes the most common workflows without writing any Python:
 * ``experiment`` — run one of the paper's experiments and print its table;
 * ``resources``  — print the Table 4 resource model;
 * ``accuracy``   — Monte-Carlo logical error rate of a decoder.
+
+Decoders are resolved through the :mod:`repro.api` registry, so every backend
+— including user-registered ones — is driven through the same typed
+:class:`repro.api.Decoder` protocol.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .core import MicroBlossomDecoder
+from .api import available_decoders, get_decoder
 from .evaluation import (
     amdahl_profile,
     effective_error_grid,
@@ -27,8 +31,6 @@ from .evaluation import (
 )
 from .graphs import SyndromeSampler, noise_model_by_name, surface_code_decoding_graph
 from .matching import ReferenceDecoder
-from .parity import ParityBlossomDecoder
-from .unionfind import UnionFindDecoder
 
 EXPERIMENTS = {
     "figure2": (
@@ -64,14 +66,6 @@ EXPERIMENTS = {
     ),
 }
 
-DECODERS = {
-    "micro-blossom": lambda graph: MicroBlossomDecoder(graph, stream=True),
-    "micro-blossom-batch": lambda graph: MicroBlossomDecoder(graph, stream=False),
-    "parity-blossom": ParityBlossomDecoder,
-    "reference": ReferenceDecoder,
-    "union-find": UnionFindDecoder,
-}
-
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -86,7 +80,9 @@ def _build_parser() -> argparse.ArgumentParser:
     decode.add_argument("--noise", default="circuit_level")
     decode.add_argument("--samples", type=int, default=5)
     decode.add_argument("--seed", type=int, default=0)
-    decode.add_argument("--decoder", choices=sorted(DECODERS), default="micro-blossom")
+    decode.add_argument(
+        "--decoder", choices=available_decoders(), default="micro-blossom"
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -103,7 +99,15 @@ def _build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--noise", default="circuit_level")
     accuracy.add_argument("--samples", type=int, default=200)
     accuracy.add_argument("--seed", type=int, default=0)
-    accuracy.add_argument("--decoder", choices=sorted(DECODERS), default="micro-blossom")
+    accuracy.add_argument(
+        "--decoder", choices=available_decoders(), default="micro-blossom"
+    )
+    accuracy.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="decode the sampled syndromes over this many worker processes",
+    )
     return parser
 
 
@@ -112,34 +116,24 @@ def _command_decode(args: argparse.Namespace) -> int:
         args.distance, noise_model_by_name(args.noise, args.error_rate)
     )
     sampler = SyndromeSampler(graph, seed=args.seed)
-    decoder = DECODERS[args.decoder](graph)
+    decoder = get_decoder(args.decoder, graph)
     reference = ReferenceDecoder(graph)
     rows = []
     for index in range(args.samples):
         syndrome = sampler.sample()
-        if hasattr(decoder, "decode_to_correction"):
-            correction = decoder.decode_to_correction(syndrome)
-            rows.append(
-                {
-                    "sample": index,
-                    "defects": syndrome.defect_count,
-                    "correction_edges": len(correction),
-                    "weight": "-",
-                    "optimal": "-",
-                }
-            )
-            continue
-        result = decoder.decode(syndrome)
-        optimal = reference.decode(syndrome).weight
-        rows.append(
-            {
-                "sample": index,
-                "defects": syndrome.defect_count,
-                "correction_edges": len(result.pairs),
-                "weight": result.weight,
-                "optimal": optimal,
-            }
-        )
+        outcome = decoder.decode_detailed(syndrome)
+        correction = outcome.correction_edges(graph)
+        row = {
+            "sample": index,
+            "defects": syndrome.defect_count,
+            "correction_edges": len(correction),
+            "weight": "-",
+            "optimal": "-",
+        }
+        if outcome.is_exact:
+            row["weight"] = outcome.weight
+            row["optimal"] = reference.decode(syndrome).weight
+        rows.append(row)
     print(format_rows(rows, ["sample", "defects", "correction_edges", "weight", "optimal"]))
     return 0
 
@@ -166,8 +160,9 @@ def _command_accuracy(args: argparse.Namespace) -> int:
     graph = surface_code_decoding_graph(
         args.distance, noise_model_by_name(args.noise, args.error_rate)
     )
-    decoder = DECODERS[args.decoder](graph)
-    estimate = estimate_logical_error_rate(graph, decoder, args.samples, seed=args.seed)
+    estimate = estimate_logical_error_rate(
+        graph, args.decoder, args.samples, seed=args.seed, workers=args.workers
+    )
     print(
         f"decoder={args.decoder} d={args.distance} p={args.error_rate} "
         f"samples={estimate.samples} errors={estimate.errors} "

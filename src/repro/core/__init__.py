@@ -1,7 +1,7 @@
 """Micro Blossom core: accelerator model, primal module, decoder front-end."""
 
 from .accelerator import MicroBlossomAccelerator, PreMatch
-from .decoder import DecodeOutcome, MicroBlossomDecoder
+from .decoder import DecodeOutcome, MicroBlossomDecoder, MicroBlossomOutcome
 from .dual import DEFAULT_DUAL_SCALE, DualGraphState
 from .instructions import (
     Instruction,
@@ -27,6 +27,7 @@ __all__ = [
     "PreMatch",
     "DecodeOutcome",
     "MicroBlossomDecoder",
+    "MicroBlossomOutcome",
     "DEFAULT_DUAL_SCALE",
     "DualGraphState",
     "Instruction",

@@ -60,6 +60,7 @@ class MicroBlossomAccelerator(DualGraphState):
         self._prematches: dict[int, PreMatch] = {}
         self._instruction_words: int = 0
         self._response_reads: int = 0
+        self._prematched_floor: int = 0
         super().__init__(graph, scale=scale)
 
     # ------------------------------------------------------------------
@@ -68,6 +69,12 @@ class MicroBlossomAccelerator(DualGraphState):
     def reset(self) -> None:
         super().reset()
         self._prematches = {}
+        # ``prematched_defects`` is a per-shot high-water mark; remember the
+        # cumulative value at reset so reused engines report per-shot deltas
+        # identical to a freshly-built accelerator.
+        self._prematched_floor = self.counters.get(
+            "prematched_defects", getattr(self, "_prematched_floor", 0)
+        )
         self._instruction_words = getattr(self, "_instruction_words", 0) + 1
         self.counters["bus_words"] = self.counters.get("bus_words", 0) + 1
         _ = reset_word()
@@ -214,7 +221,8 @@ class MicroBlossomAccelerator(DualGraphState):
             try_boundary(edge)
         if prematches:
             self.counters["prematched_defects"] = max(
-                self.counters.get("prematched_defects", 0), len(claimed)
+                self.counters.get("prematched_defects", 0),
+                self._prematched_floor + len(claimed),
             )
         return prematches
 
@@ -233,17 +241,26 @@ class MicroBlossomAccelerator(DualGraphState):
     # ------------------------------------------------------------------
     def hardware_report(self) -> dict[str, int]:
         """Bus and instruction statistics accumulated since construction."""
+        return self.hardware_report_from(self.counters)
+
+    @staticmethod
+    def hardware_report_from(counters) -> dict[str, int]:
+        """Bus and instruction statistics from a counter snapshot.
+
+        Used with per-shot counter deltas when the accelerator model is
+        reused across decodes (engine reuse / decoder sessions).
+        """
         return {
-            "bus_words": int(self.counters.get("bus_words", 0)),
-            "response_reads": int(self.counters.get("response_reads", 0)),
-            "grow_instructions": int(self.counters.get("instr_grow", 0)),
+            "bus_words": int(counters.get("bus_words", 0)),
+            "response_reads": int(counters.get("response_reads", 0)),
+            "grow_instructions": int(counters.get("instr_grow", 0)),
             "find_obstacle_instructions": int(
-                self.counters.get("instr_find_obstacle", 0)
+                counters.get("instr_find_obstacle", 0)
             ),
             "set_direction_instructions": int(
-                self.counters.get("instr_set_direction", 0)
+                counters.get("instr_set_direction", 0)
             ),
-            "set_cover_instructions": int(self.counters.get("instr_set_cover", 0)),
-            "conflicts_reported": int(self.counters.get("conflicts_reported", 0)),
-            "defects_loaded": int(self.counters.get("defects_loaded", 0)),
+            "set_cover_instructions": int(counters.get("instr_set_cover", 0)),
+            "conflicts_reported": int(counters.get("conflicts_reported", 0)),
+            "defects_loaded": int(counters.get("defects_loaded", 0)),
         }

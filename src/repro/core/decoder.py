@@ -8,11 +8,18 @@ in the paper (Figure 10a):
 * ``+ parallel primal phase`` — pre-matching of isolated Conflicts enabled;
 * ``+ round-wise fusion`` — streaming, one measurement round at a time.
 
-Every decode returns a :class:`DecodeOutcome` carrying the matching itself and
-all the operation counts needed by the latency model (§8.2): accelerator
-instructions, blocking response reads, conflicts escalated to the CPU, and —
-for stream decoding — the share of the work that happens after the final
-measurement round arrived (which is what determines the decoding latency).
+Every decode returns a :class:`MicroBlossomOutcome` carrying the matching
+itself and all the operation counts needed by the latency model (§8.2):
+accelerator instructions, blocking response reads, conflicts escalated to the
+CPU, and — for stream decoding — the share of the work that happens after the
+final measurement round arrived (which is what determines the decoding
+latency).
+
+The decoder keeps its accelerator model and primal module alive across
+decodes (``reuse_engines=True``, the default): each shot snapshots the
+counters, ``reset()``s both engines and reports per-shot counter deltas, so
+the results and statistics are identical to a freshly-built decoder while the
+per-shot construction cost disappears from the Monte-Carlo hot path.
 """
 
 from __future__ import annotations
@@ -20,8 +27,16 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..api.outcome import DecodeOutcome as DecodeOutcomeBase
+from ..api.outcome import counter_delta
 from ..graphs.decoding_graph import DecodingGraph
-from ..graphs.syndrome import BOUNDARY, MatchingResult, Syndrome, matching_weight
+from ..graphs.syndrome import (
+    BOUNDARY,
+    MatchingResult,
+    Syndrome,
+    correction_edges,
+    matching_weight,
+)
 from .accelerator import MicroBlossomAccelerator
 from .dual import DEFAULT_DUAL_SCALE
 from .interface import IntegralityError
@@ -32,22 +47,18 @@ MAX_SCALE_RETRIES = 4
 
 
 @dataclass
-class DecodeOutcome:
-    """Full record of one decoding run."""
+class MicroBlossomOutcome(DecodeOutcomeBase):
+    """Full record of one Micro Blossom decoding run."""
 
-    result: MatchingResult
-    defect_count: int
-    counters: Counter = field(default_factory=Counter)
     post_final_round_counters: Counter = field(default_factory=Counter)
     hardware_report: dict = field(default_factory=dict)
     prematched_pairs: int = 0
     stream: bool = False
     prematching: bool = True
-    scale_retries: int = 0
 
-    @property
-    def weight(self) -> int:
-        return self.result.weight
+
+#: Backwards-compatible alias (the outcome class used to carry this name).
+DecodeOutcome = MicroBlossomOutcome
 
 
 class MicroBlossomDecoder:
@@ -61,11 +72,14 @@ class MicroBlossomDecoder:
         enable_prematching: bool = True,
         stream: bool = False,
         scale: int = DEFAULT_DUAL_SCALE,
+        reuse_engines: bool = True,
     ) -> None:
         self.graph = graph
         self.enable_prematching = enable_prematching
         self.stream = stream
         self.scale = scale
+        self.reuse_engines = reuse_engines
+        self._engines: dict[int, tuple[MicroBlossomAccelerator, PrimalModule]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -74,8 +88,18 @@ class MicroBlossomDecoder:
         """Decode a syndrome and return the defect-level matching."""
         return self.decode_detailed(syndrome).result
 
-    def decode_detailed(self, syndrome: Syndrome) -> DecodeOutcome:
-        """Decode a syndrome and return the matching plus all statistics."""
+    def decode_to_correction(self, syndrome: Syndrome) -> set[int]:
+        """Decode a syndrome and return the correction edge set."""
+        return correction_edges(self.graph, self.decode(syndrome))
+
+    def decode_detailed(self, syndrome: Syndrome) -> MicroBlossomOutcome:
+        """Decode a syndrome and return the matching plus all statistics.
+
+        Every decode starts from ``self.scale``; when an
+        :class:`IntegralityError` forces a retry at a doubled scale, the
+        doubled scale is confined to that retry (and its cached engine) and
+        never leaks into subsequent decodes of the same decoder or session.
+        """
         scale = self.scale
         last_error: IntegralityError | None = None
         for retry in range(MAX_SCALE_RETRIES + 1):
@@ -90,31 +114,57 @@ class MicroBlossomDecoder:
             f"decoding failed even at dual scale {scale}: {last_error}"
         )
 
+    def reset(self) -> None:
+        """Drop all cached engines; the next decode rebuilds them."""
+        self._engines = {}
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _decode_once(self, syndrome: Syndrome, scale: int) -> DecodeOutcome:
+    def _acquire(
+        self, scale: int
+    ) -> tuple[MicroBlossomAccelerator, PrimalModule, Counter]:
+        """Return an accelerator/primal pair ready for one decode.
+
+        Engines are cached per dual scale.  For a reused pair the returned
+        baseline holds the counters accumulated by previous shots (snapshotted
+        *before* the reset, so the reset instruction is accounted to the new
+        shot exactly as construction-time reset is for a fresh pair).
+        """
+        if self.reuse_engines:
+            cached = self._engines.get(scale)
+            if cached is not None:
+                accelerator, primal = cached
+                baseline = Counter(accelerator.counters)
+                baseline.update(primal.counters)
+                accelerator.reset()
+                primal.reset()
+                return accelerator, primal, baseline
         accelerator = MicroBlossomAccelerator(
             self.graph, scale=scale, enable_prematching=self.enable_prematching
         )
         primal = PrimalModule(self.graph, accelerator)
+        if self.reuse_engines:
+            self._engines[scale] = (accelerator, primal)
+        return accelerator, primal, Counter()
+
+    def _decode_once(self, syndrome: Syndrome, scale: int) -> MicroBlossomOutcome:
+        accelerator, primal, baseline = self._acquire(scale)
         if self.stream:
             post_final = self._decode_stream(syndrome, accelerator, primal)
         else:
             accelerator.load(syndrome.defects)
             primal.run()
-            before_final = Counter()
-            post_final = self._counter_delta(accelerator, primal, before_final)
+            post_final = counter_delta(baseline, accelerator.counters, primal.counters)
         result = self._collect_result(syndrome, accelerator, primal)
-        counters = Counter(accelerator.counters)
-        counters.update(primal.counters)
+        counters = counter_delta(baseline, accelerator.counters, primal.counters)
         prematched = len(accelerator.prematched_pairs())
-        return DecodeOutcome(
+        return MicroBlossomOutcome(
             result=result,
             defect_count=syndrome.defect_count,
             counters=counters,
             post_final_round_counters=post_final,
-            hardware_report=accelerator.hardware_report(),
+            hardware_report=MicroBlossomAccelerator.hardware_report_from(counters),
             prematched_pairs=prematched,
             stream=self.stream,
             prematching=self.enable_prematching,
@@ -142,20 +192,7 @@ class MicroBlossomDecoder:
             }
             primal.break_boundary_matches(newly_real)
             primal.run()
-        return self._counter_delta(accelerator, primal, snapshot)
-
-    @staticmethod
-    def _counter_delta(
-        accelerator: MicroBlossomAccelerator, primal: PrimalModule, before: Counter
-    ) -> Counter:
-        after = Counter(accelerator.counters)
-        after.update(primal.counters)
-        delta = Counter()
-        for key, value in after.items():
-            difference = value - before.get(key, 0)
-            if difference:
-                delta[key] = difference
-        return delta
+        return counter_delta(snapshot, accelerator.counters, primal.counters)
 
     def _collect_result(
         self,

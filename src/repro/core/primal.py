@@ -88,6 +88,15 @@ class PrimalModule:
         self._next_blossom_id = graph.num_vertices
         self.counters: Counter = Counter()
 
+    def reset(self) -> None:
+        """Forget every node so the module can decode a fresh syndrome.
+
+        Counters are deliberately kept cumulative (like the dual engine's);
+        callers that reuse the module across shots report per-shot deltas.
+        """
+        self.nodes = {}
+        self._next_blossom_id = self.graph.num_vertices
+
     # ------------------------------------------------------------------
     # node bookkeeping
     # ------------------------------------------------------------------

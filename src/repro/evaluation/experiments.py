@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..core.decoder import MicroBlossomDecoder
+from ..api.config import MicroBlossomConfig, ParityBlossomConfig
+from ..api.protocol import Decoder
+from ..api.session import DecoderSession
 from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.noise import circuit_level_noise, noise_model_by_name
 from ..graphs.surface_code import surface_code_decoding_graph
@@ -34,10 +36,7 @@ from ..latency.model import (
     MicroBlossomLatencyModel,
     ParityBlossomLatencyModel,
 )
-from ..matching.reference import ReferenceDecoder
-from ..parity.decoder import ParityBlossomDecoder
 from ..resources.estimate import paper_row, resource_table
-from ..unionfind.decoder import UnionFindDecoder
 from .monte_carlo import (
     estimate_logical_error_rate,
     expected_defect_count,
@@ -79,13 +78,13 @@ class DecodedSample:
 
 def decode_micro_sample(
     graph: DecodingGraph,
-    decoder: MicroBlossomDecoder,
+    decoder: Decoder,
     model: MicroBlossomLatencyModel,
     syndrome: Syndrome,
 ) -> DecodedSample:
     outcome = decoder.decode_detailed(syndrome)
     counters = (
-        outcome.post_final_round_counters if decoder.stream else outcome.counters
+        outcome.post_final_round_counters if outcome.stream else outcome.counters
     )
     latency = model.latency_seconds(counters)
     logical_error = is_logical_error(graph, syndrome, outcome.result)
@@ -94,7 +93,7 @@ def decode_micro_sample(
 
 def decode_parity_sample(
     graph: DecodingGraph,
-    decoder: ParityBlossomDecoder,
+    decoder: Decoder,
     model: ParityBlossomLatencyModel,
     syndrome: Syndrome,
 ) -> DecodedSample:
@@ -112,13 +111,15 @@ def _sample_micro(
     enable_prematching: bool = True,
     stream: bool = True,
 ) -> list[DecodedSample]:
-    decoder = MicroBlossomDecoder(
-        graph, enable_prematching=enable_prematching, stream=stream
+    session = DecoderSession(
+        graph,
+        "micro-blossom",
+        MicroBlossomConfig(enable_prematching=enable_prematching, stream=stream),
     )
     model = MicroBlossomLatencyModel(distance, graph.num_edges)
     sampler = SyndromeSampler(graph, seed=seed)
     return [
-        decode_micro_sample(graph, decoder, model, sampler.sample())
+        decode_micro_sample(graph, session, model, sampler.sample())
         for _ in range(samples)
     ]
 
@@ -126,11 +127,11 @@ def _sample_micro(
 def _sample_parity(
     graph: DecodingGraph, samples: int, seed: int
 ) -> list[DecodedSample]:
-    decoder = ParityBlossomDecoder(graph)
+    session = DecoderSession(graph, "parity-blossom", ParityBlossomConfig())
     model = ParityBlossomLatencyModel()
     sampler = SyndromeSampler(graph, seed=seed)
     return [
-        decode_parity_sample(graph, decoder, model, sampler.sample())
+        decode_parity_sample(graph, session, model, sampler.sample())
         for _ in range(samples)
     ]
 
@@ -154,7 +155,7 @@ def amdahl_profile(
     model = ParityBlossomLatencyModel()
     for distance in distances:
         graph = build_graph(distance, physical_error_rate)
-        decoder = ParityBlossomDecoder(graph)
+        decoder = DecoderSession(graph, "parity-blossom")
         sampler = SyndromeSampler(graph, seed=seed + distance)
         dual_total = 0.0
         primal_total = 0.0
@@ -352,13 +353,11 @@ def calibrate_scalings(
     ratio_points: list[tuple[int, float]] = []
     for distance, physical in ((3, 0.02), (3, 0.03), (5, 0.02), (5, 0.03)):
         graph = build_graph(distance, physical)
-        reference = ReferenceDecoder(graph)
-        union_find = UnionFindDecoder(graph)
         mwpm = estimate_logical_error_rate(
-            graph, reference, calibration_samples, seed=seed + distance
+            graph, "reference", calibration_samples, seed=seed + distance
         )
         uf = estimate_logical_error_rate(
-            graph, union_find, calibration_samples, seed=seed + distance
+            graph, "union-find", calibration_samples, seed=seed + distance
         )
         if mwpm.errors:
             scaling_points.append((distance, physical, mwpm.rate))

@@ -6,11 +6,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..api.batch import decode_batch
+from ..api.config import DecoderConfig
+from ..api.protocol import Decoder
+from ..api.registry import get_decoder
 from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.syndrome import (
     Syndrome,
     SyndromeSampler,
-    correction_edges,
 )
 
 
@@ -71,39 +74,76 @@ class LatencyDistributionResult:
         return sum(s.defect_count for s in self.samples) / len(self.samples)
 
 
-def decoder_correction(graph: DecodingGraph, decoder, syndrome: Syndrome) -> set[int]:
+def decoder_correction(graph: DecodingGraph, decoder: Decoder, syndrome: Syndrome) -> set[int]:
     """Run any decoder of this package and return its correction edge set.
 
-    Decoders either return a :class:`MatchingResult` from ``decode`` or expose
-    ``decode_to_correction`` directly (the Union-Find decoder).
+    Every backend implements ``decode_to_correction`` (part of the
+    :class:`repro.api.Decoder` protocol), so no per-decoder branching is
+    needed.
     """
-    if hasattr(decoder, "decode_to_correction"):
-        return set(decoder.decode_to_correction(syndrome))
-    result = decoder.decode(syndrome)
-    return correction_edges(graph, result)
+    return set(decoder.decode_to_correction(syndrome))
+
+
+def _is_correction_logical_error(
+    graph: DecodingGraph, syndrome: Syndrome, correction: set[int]
+) -> bool:
+    if syndrome.logical_flip is None:
+        raise ValueError("syndrome does not carry ground-truth information")
+    return graph.crosses_observable(correction) != syndrome.logical_flip
 
 
 def is_decoder_logical_error(
-    graph: DecodingGraph, decoder, syndrome: Syndrome
+    graph: DecodingGraph, decoder: Decoder, syndrome: Syndrome
 ) -> bool:
     """True when the decoder's correction flips the logical observable wrongly."""
-    if syndrome.logical_flip is None:
-        raise ValueError("syndrome does not carry ground-truth information")
-    correction = decoder_correction(graph, decoder, syndrome)
-    return graph.crosses_observable(correction) != syndrome.logical_flip
+    return _is_correction_logical_error(
+        graph, syndrome, decoder_correction(graph, decoder, syndrome)
+    )
 
 
 def estimate_logical_error_rate(
     graph: DecodingGraph,
-    decoder,
+    decoder: Decoder | str,
     num_samples: int,
     seed: int | None = None,
     sampler: SyndromeSampler | None = None,
+    config: DecoderConfig | None = None,
+    workers: int = 1,
 ) -> LogicalErrorRateResult:
-    """Monte-Carlo logical error rate of a decoder on a decoding graph."""
+    """Monte-Carlo logical error rate of a decoder on a decoding graph.
+
+    ``decoder`` is either an object satisfying the
+    :class:`repro.api.Decoder` protocol or a registry name (resolved via
+    :func:`repro.api.get_decoder` with ``config``).  With ``workers > 1`` the
+    decoder must be given by name; the sampled syndromes are then decoded with
+    :func:`repro.api.decode_batch` over a process pool, which yields the exact
+    same error count as the sequential loop.
+    """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     sampler = sampler or SyndromeSampler(graph, seed=seed)
+    if workers > 1:
+        if not isinstance(decoder, str):
+            raise ValueError(
+                "workers > 1 requires the decoder as a registry name so the "
+                "worker processes can rebuild it"
+            )
+        syndromes = [sampler.sample() for _ in range(num_samples)]
+        errors = sum(
+            1 for s in syndromes if not s.defects and s.logical_flip
+        )
+        nontrivial = [s for s in syndromes if s.defects]
+        batch = decode_batch(graph, decoder, nontrivial, config=config, workers=workers)
+        for syndrome, outcome in zip(nontrivial, batch.outcomes):
+            if _is_correction_logical_error(
+                graph, syndrome, outcome.correction_edges(graph)
+            ):
+                errors += 1
+        return LogicalErrorRateResult(samples=num_samples, errors=errors)
+    if isinstance(decoder, str):
+        decoder = get_decoder(decoder, graph, config)
     errors = 0
     for _ in range(num_samples):
         syndrome = sampler.sample()

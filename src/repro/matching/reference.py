@@ -22,8 +22,9 @@ from typing import Sequence
 
 import networkx as nx
 
+from ..api.outcome import DecodeOutcome
 from ..graphs.decoding_graph import DecodingGraph
-from ..graphs.syndrome import BOUNDARY, MatchingResult, Syndrome
+from ..graphs.syndrome import BOUNDARY, MatchingResult, Syndrome, correction_edges
 from .syndrome_graph import SyndromeGraph, build_syndrome_graph
 
 
@@ -79,7 +80,7 @@ class ReferenceDecoder:
     the same predictions up to tie breaking).
     """
 
-    name = "reference-mwpm"
+    name = "reference"
 
     def __init__(self, graph: DecodingGraph) -> None:
         self.graph = graph
@@ -91,6 +92,22 @@ class ReferenceDecoder:
         )
         syndrome_graph = build_syndrome_graph(self.graph, defects)
         return _solve_dense(syndrome_graph)
+
+    def decode_to_correction(self, syndrome: Syndrome | Sequence[int]) -> set[int]:
+        """Return the optimal correction as decoding-graph edge indices."""
+        return correction_edges(self.graph, self.decode(syndrome))
+
+    def decode_detailed(self, syndrome: Syndrome | Sequence[int]) -> DecodeOutcome:
+        """Return the optimal matching wrapped in the shared outcome record.
+
+        The reference decoder delegates to ``networkx`` and therefore has no
+        operation counters; the outcome only carries the matching itself.
+        """
+        result = self.decode(syndrome)
+        defects = (
+            syndrome.defects if isinstance(syndrome, Syndrome) else tuple(syndrome)
+        )
+        return DecodeOutcome(result=result, defect_count=len(defects))
 
     def optimal_weight(self, syndrome: Syndrome | Sequence[int]) -> int:
         """Weight of an optimal matching (convenience for exactness tests)."""

@@ -18,13 +18,19 @@ cover-based dual engine, but:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..api.outcome import DecodeOutcome, counter_delta
 from ..core.dual import DEFAULT_DUAL_SCALE, DualGraphState
 from ..core.interface import IntegralityError
 from ..core.primal import PrimalModule
 from ..graphs.decoding_graph import DecodingGraph
-from ..graphs.syndrome import MatchingResult, Syndrome, matching_weight
+from ..graphs.syndrome import (
+    MatchingResult,
+    Syndrome,
+    correction_edges,
+    matching_weight,
+)
 
 #: Maximum internal dual-scale doublings attempted before giving up.
 MAX_SCALE_RETRIES = 4
@@ -52,19 +58,11 @@ class SerialDualPhase(DualGraphState):
 
 
 @dataclass
-class ParityDecodeOutcome:
+class ParityDecodeOutcome(DecodeOutcome):
     """Matching plus the operation counts consumed by the CPU latency model."""
 
-    result: MatchingResult
-    defect_count: int
-    counters: Counter = field(default_factory=Counter)
     dual_work: int = 0
     primal_work: int = 0
-    scale_retries: int = 0
-
-    @property
-    def weight(self) -> int:
-        return self.result.weight
 
 
 class ParityBlossomDecoder:
@@ -72,12 +70,22 @@ class ParityBlossomDecoder:
 
     name = "parity-blossom"
 
-    def __init__(self, graph: DecodingGraph, scale: int = DEFAULT_DUAL_SCALE) -> None:
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        scale: int = DEFAULT_DUAL_SCALE,
+        reuse_engines: bool = True,
+    ) -> None:
         self.graph = graph
         self.scale = scale
+        self.reuse_engines = reuse_engines
+        self._engines: dict[int, tuple[SerialDualPhase, PrimalModule]] = {}
 
     def decode(self, syndrome: Syndrome) -> MatchingResult:
         return self.decode_detailed(syndrome).result
+
+    def decode_to_correction(self, syndrome: Syndrome) -> set[int]:
+        return correction_edges(self.graph, self.decode(syndrome))
 
     def decode_detailed(self, syndrome: Syndrome) -> ParityDecodeOutcome:
         scale = self.scale
@@ -94,18 +102,38 @@ class ParityBlossomDecoder:
             f"decoding failed even at dual scale {scale}: {last_error}"
         )
 
-    def _decode_once(self, syndrome: Syndrome, scale: int) -> ParityDecodeOutcome:
+    def reset(self) -> None:
+        """Drop all cached engines; the next decode rebuilds them."""
+        self._engines = {}
+
+    def _acquire(self, scale: int) -> tuple[SerialDualPhase, PrimalModule, Counter]:
+        """Return a dual/primal pair ready for one decode plus the counter
+        baseline of previous shots (see ``MicroBlossomDecoder._acquire``)."""
+        if self.reuse_engines:
+            cached = self._engines.get(scale)
+            if cached is not None:
+                dual, primal = cached
+                baseline = Counter(dual.counters)
+                baseline.update(primal.counters)
+                dual.reset()
+                primal.reset()
+                return dual, primal, baseline
         dual = SerialDualPhase(self.graph, scale=scale)
-        dual.load(syndrome.defects)
         primal = PrimalModule(self.graph, dual)
+        if self.reuse_engines:
+            self._engines[scale] = (dual, primal)
+        return dual, primal, Counter()
+
+    def _decode_once(self, syndrome: Syndrome, scale: int) -> ParityDecodeOutcome:
+        dual, primal, baseline = self._acquire(scale)
+        dual.load(syndrome.defects)
         for defect in syndrome.defects:
             primal.register_defect(defect)
         primal.run()
         result = primal.collect_matching()
         result.weight = matching_weight(self.graph, result)
         result.validate_perfect(syndrome.defects)
-        counters = Counter(dual.counters)
-        counters.update(primal.counters)
+        counters = counter_delta(baseline, dual.counters, primal.counters)
         dual_work = int(counters.get("serial_dual_work", 0))
         primal_work = int(
             counters.get("conflicts_resolved", 0)
