@@ -33,8 +33,8 @@ def bench_ablation_pipeline_and_bus(benchmark):
         decoder = MicroBlossomDecoder(graph, stream=True)
         sampler = SyndromeSampler(graph, seed=2024)
         counter_sets = []
-        for _ in range(SAMPLES):
-            outcome = decoder.decode_detailed(sampler.sample())
+        for syndrome in sampler.sample_batch(SAMPLES):
+            outcome = decoder.decode_detailed(syndrome)
             counter_sets.append(outcome.post_final_round_counters)
         rows = []
         for depth in PIPELINE_DEPTHS:

@@ -25,8 +25,7 @@ from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_deco
 
 
 def _sample(graph, samples: int, seed: int):
-    sampler = SyndromeSampler(graph, seed=seed)
-    return [sampler.sample() for _ in range(samples)]
+    return SyndromeSampler(graph, seed=seed).sample_batch(samples)
 
 
 def run(distance: int, error_rate: float, samples: int, seed: int, workers: int) -> list[dict]:

@@ -18,8 +18,7 @@ BATCH = 10
 
 def _setup():
     graph = surface_code_decoding_graph(DISTANCE, circuit_level_noise(ERROR_RATE))
-    sampler = SyndromeSampler(graph, seed=123)
-    syndromes = [sampler.sample() for _ in range(BATCH)]
+    syndromes = SyndromeSampler(graph, seed=123).sample_batch(BATCH)
     return graph, syndromes
 
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Shot-generation throughput: scalar sampling vs the vectorized batch path.
+
+The Monte-Carlo harness used to draw every shot individually —
+``SyndromeSampler.sample()`` generates one row of uniforms, then derives
+defects and the logical flip with per-shot Python loops.  ``sample_batch``
+draws the whole ``(n, num_edges)`` error matrix in one RNG call per chunk and
+derives defects/logical flips through the incidence matrix with array
+operations, while staying bit-identical per shot to the scalar path under the
+same seed.
+
+This benchmark measures both on the d=9 circuit-level graph, asserts the
+bit-identity, and asserts the vectorized speedup target (>= 5x by default).
+
+Run::
+
+    python benchmarks/bench_sampling_throughput.py
+    python benchmarks/bench_sampling_throughput.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.evaluation import format_rows
+from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(
+    distance: int, error_rate: float, samples: int, seed: int, repeats: int
+) -> tuple[list[dict], float]:
+    graph = surface_code_decoding_graph(distance, circuit_level_noise(error_rate))
+    print(f"decoding graph: {graph}")
+
+    scalar_sampler = SyndromeSampler(graph, seed=seed)
+    batch_sampler = SyndromeSampler(graph, seed=seed)
+    scalar_shots = [scalar_sampler.sample() for _ in range(samples)]
+    batch_shots = batch_sampler.sample_batch(samples)
+    assert scalar_shots == batch_shots, "sample_batch is not bit-identical to sample()"
+    assert scalar_sampler.sample() == batch_sampler.sample(), (
+        "sample_batch left the RNG in a different state than scalar sampling"
+    )
+
+    def scalar_run():
+        sampler = SyndromeSampler(graph, seed=seed)
+        for _ in range(samples):
+            sampler.sample()
+
+    def batch_run():
+        SyndromeSampler(graph, seed=seed).sample_batch(samples)
+
+    scalar_seconds = _best_of(repeats, scalar_run)
+    batch_seconds = _best_of(repeats, batch_run)
+    speedup = scalar_seconds / batch_seconds
+    rows = [
+        {
+            "mode": "scalar sample() loop",
+            "seconds": scalar_seconds,
+            "shots_per_s": samples / scalar_seconds,
+            "speedup": 1.0,
+        },
+        {
+            "mode": "vectorized sample_batch",
+            "seconds": batch_seconds,
+            "shots_per_s": samples / batch_seconds,
+            "speedup": speedup,
+        },
+    ]
+    return rows, speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distance", type=int, default=9)
+    parser.add_argument("--error-rate", type=float, default=0.001)
+    parser.add_argument("--samples", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail unless the vectorized path is at least this much faster",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI (fewer shots, 2x floor)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.samples, args.repeats, args.min_speedup = 1000, 3, 2.0
+
+    print(
+        f"== syndrome sampling throughput (d={args.distance}, "
+        f"p={args.error_rate}, {args.samples} shots, best of {args.repeats}) =="
+    )
+    rows, speedup = run(
+        args.distance, args.error_rate, args.samples, args.seed, args.repeats
+    )
+    print(format_rows(rows, ["mode", "seconds", "shots_per_s", "speedup"]))
+    print(f"\nvectorized speedup over scalar sampling: {speedup:.2f}x")
+    if speedup < args.min_speedup:
+        raise SystemExit(
+            f"expected >= {args.min_speedup:.1f}x speedup, measured {speedup:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,16 +13,22 @@ by Monte Carlo on small code distances, and reports the accuracy penalty of
 the approximation together with the effective logical error rate once the
 modelled decoding latency is taken into account (Figure 11's metric).
 
+The Monte Carlo runs on the sharded :class:`repro.evaluation.MonteCarloEngine`
+(see ``docs/evaluation.md``): pass ``--workers`` to fan the shot stream over
+worker processes (the estimates do not change, only the wall-clock time) and
+``--target-se`` to stop each run early once the estimate is tight enough.
+
 Run::
 
     python examples/accuracy_comparison.py --distances 3 5 --samples 400
+    python examples/accuracy_comparison.py --samples 20000 --workers 4 --target-se 0.005
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.evaluation import estimate_logical_error_rate, format_rows
+from repro.evaluation import MonteCarloEngine, format_rows
 from repro.graphs import circuit_level_noise, surface_code_decoding_graph
 from repro.latency import (
     EffectiveErrorRate,
@@ -37,22 +43,29 @@ def main() -> None:
     parser.add_argument("--error-rate", type=float, default=0.02)
     parser.add_argument("--samples", type=int, default=400)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--target-se",
+        type=float,
+        default=None,
+        help="stop each run early at this standard error",
+    )
     args = parser.parse_args()
 
     print(
         f"== MWPM vs Union-Find accuracy (p={args.error_rate}, "
-        f"{args.samples} samples per point) =="
+        f"up to {args.samples} samples per point, {args.workers} worker(s)) =="
     )
     rows = []
     for distance in args.distances:
         graph = surface_code_decoding_graph(
             distance, circuit_level_noise(args.error_rate)
         )
-        mwpm = estimate_logical_error_rate(
-            graph, "micro-blossom", args.samples, seed=args.seed
+        mwpm = MonteCarloEngine(graph, "micro-blossom", workers=args.workers).run(
+            args.samples, seed=args.seed, target_standard_error=args.target_se
         )
-        union_find = estimate_logical_error_rate(
-            graph, "union-find", args.samples, seed=args.seed
+        union_find = MonteCarloEngine(graph, "union-find", workers=args.workers).run(
+            args.samples, seed=args.seed, target_standard_error=args.target_se
         )
         penalty = (union_find.rate / mwpm.rate) if mwpm.rate else float("nan")
 

@@ -49,9 +49,13 @@ def main() -> None:
     print(f"expected defects per syndrome: {expected_defect_count(graph):.2f}")
 
     sampler = SyndromeSampler(graph, seed=args.seed)
-    syndrome = sampler.sample()
-    while not syndrome.defects:
-        syndrome = sampler.sample()
+    # Draw shots in vectorized batches until one carries defects.
+    syndrome = next(
+        (s for _ in range(100) for s in sampler.sample_batch(16) if s.defects),
+        None,
+    )
+    if syndrome is None:
+        raise SystemExit("no defects in 1600 shots; raise the error rate")
     print(f"\nsampled syndrome with {syndrome.defect_count} defects: {syndrome.defects}")
 
     decoder = get_decoder("micro-blossom", graph)

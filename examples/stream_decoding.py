@@ -30,9 +30,12 @@ def show_single_stream_decode(distance: int, error_rate: float, seed: int) -> No
     """Decode one syndrome round by round, printing the per-round progress."""
     graph = surface_code_decoding_graph(distance, circuit_level_noise(error_rate))
     sampler = SyndromeSampler(graph, seed=seed)
-    syndrome = sampler.sample()
-    while syndrome.defect_count < 2:
-        syndrome = sampler.sample()
+    syndrome = next(
+        (s for _ in range(100) for s in sampler.sample_batch(32) if s.defect_count >= 2),
+        None,
+    )
+    if syndrome is None:
+        raise SystemExit("no multi-defect shot in 3200 samples; raise the error rate")
     print(f"decoding a syndrome with {syndrome.defect_count} defects round by round:")
     decoder = get_decoder("micro-blossom", graph)
     outcome = decoder.decode_detailed(syndrome)

@@ -90,8 +90,12 @@ def _decode_chunk(
     return [decoder.decode_detailed(syndrome) for syndrome in syndromes]
 
 
-def _chunk(syndromes: Sequence[Syndrome], pieces: int) -> list[list[Syndrome]]:
-    """Split into at most ``pieces`` contiguous, near-equal chunks."""
+def chunk_evenly(syndromes: Sequence[Syndrome], pieces: int) -> list[list[Syndrome]]:
+    """Split into at most ``pieces`` contiguous, near-equal chunks.
+
+    Order-preserving: concatenating the chunks reproduces the input.  Shared
+    by :func:`decode_batch` and the Monte-Carlo engine's worker fan-out.
+    """
     pieces = max(1, min(pieces, len(syndromes)))
     size, remainder = divmod(len(syndromes), pieces)
     chunks: list[list[Syndrome]] = []
@@ -130,7 +134,7 @@ def decode_batch(
     if workers == 1 or len(syndromes) == 1:
         outcomes = _decode_chunk(graph, spec.factory, config, syndromes)
         return BatchOutcome.from_outcomes(outcomes)
-    chunks = _chunk(syndromes, workers)
+    chunks = chunk_evenly(syndromes, workers)
     outcomes: list[DecodeOutcome] = []
     with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
         futures = [

@@ -5,7 +5,13 @@ The CLI exposes the most common workflows without writing any Python:
 * ``decode``     — sample and decode syndromes, verifying exactness;
 * ``experiment`` — run one of the paper's experiments and print its table;
 * ``resources``  — print the Table 4 resource model;
-* ``accuracy``   — Monte-Carlo logical error rate of a decoder.
+* ``accuracy``   — Monte-Carlo logical error rate of a decoder;
+* ``latency``    — Monte-Carlo latency distribution under the timing models.
+
+``accuracy`` and ``latency`` run on the sharded
+:class:`repro.evaluation.MonteCarloEngine` (see ``docs/evaluation.md``):
+shots are sampled vectorized in seed-stable shards and fanned out over
+``--workers`` processes, with results independent of the worker count.
 
 Decoders are resolved through the :mod:`repro.api` registry, so every backend
 — including user-registered ones — is driven through the same typed
@@ -20,12 +26,14 @@ from typing import Sequence
 
 from .api import available_decoders, get_decoder
 from .evaluation import (
+    MonteCarloEngine,
     amdahl_profile,
     effective_error_grid,
     estimate_logical_error_rate,
     format_rows,
     improvement_breakdown,
     latency_sweep,
+    modelled_latency_fn,
     resource_usage_table,
     stream_vs_batch,
 )
@@ -108,6 +116,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="decode the sampled syndromes over this many worker processes",
     )
+    accuracy.add_argument(
+        "--shard-size",
+        type=int,
+        default=256,
+        help="shots per seed-stable shard of the Monte-Carlo engine",
+    )
+    accuracy.add_argument(
+        "--target-se",
+        type=float,
+        default=None,
+        help="stop early once the standard error reaches this target",
+    )
+
+    latency = subparsers.add_parser(
+        "latency",
+        help="Monte-Carlo latency distribution under the published timing models",
+    )
+    latency.add_argument("--distance", type=int, default=5)
+    latency.add_argument("--error-rate", type=float, default=0.001)
+    latency.add_argument("--noise", default="circuit_level")
+    latency.add_argument("--samples", type=int, default=200)
+    latency.add_argument("--seed", type=int, default=0)
+    latency.add_argument(
+        "--decoder",
+        choices=["micro-blossom", "micro-blossom-batch", "parity-blossom", "union-find"],
+        default="micro-blossom",
+        help="decoders with a published timing model",
+    )
+    latency.add_argument("--workers", type=int, default=1)
+    latency.add_argument("--shard-size", type=int, default=256)
     return parser
 
 
@@ -161,12 +199,51 @@ def _command_accuracy(args: argparse.Namespace) -> int:
         args.distance, noise_model_by_name(args.noise, args.error_rate)
     )
     estimate = estimate_logical_error_rate(
-        graph, args.decoder, args.samples, seed=args.seed, workers=args.workers
+        graph,
+        args.decoder,
+        args.samples,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        target_standard_error=args.target_se,
     )
     print(
         f"decoder={args.decoder} d={args.distance} p={args.error_rate} "
         f"samples={estimate.samples} errors={estimate.errors} "
         f"logical_error_rate={estimate.rate:.4g} (+/- {estimate.standard_error:.2g})"
+    )
+    return 0
+
+
+def _command_latency(args: argparse.Namespace) -> int:
+    graph = surface_code_decoding_graph(
+        args.distance, noise_model_by_name(args.noise, args.error_rate)
+    )
+    engine = MonteCarloEngine(
+        graph,
+        args.decoder,
+        shard_size=args.shard_size,
+        workers=args.workers,
+        latency_fn=modelled_latency_fn(args.decoder, graph),
+    )
+    result = engine.run(args.samples, seed=args.seed)
+    histogram = result.histogram
+    print(
+        f"decoder={args.decoder} d={args.distance} p={args.error_rate} "
+        f"shots={result.shots} decoded={result.decoded_shots} "
+        f"logical_error_rate={result.rate:.4g}"
+    )
+    if histogram.count == 0:
+        print(
+            "latency_us n/a (no shot carried defects; raise --error-rate or "
+            "--samples)"
+        )
+        return 0
+    print(
+        f"latency_us mean={histogram.mean * 1e6:.3f} "
+        f"p50={histogram.percentile(50) * 1e6:.3f} "
+        f"p99={histogram.percentile(99) * 1e6:.3f} "
+        f"max={histogram.max_seconds * 1e6:.3f}"
     )
     return 0
 
@@ -179,6 +256,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "resources": _command_resources,
         "accuracy": _command_accuracy,
+        "latency": _command_latency,
     }
     return handlers[args.command](args)
 

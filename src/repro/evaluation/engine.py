@@ -1,0 +1,466 @@
+"""Sharded Monte-Carlo evaluation engine.
+
+The engine turns the paper's statistical evaluation loop — sample a syndrome,
+decode it, tally logical errors — into a batched, shardable pipeline:
+
+* **Sharding / seeding contract.**  A run of ``max_shots`` shots with base
+  seed ``s`` is split into fixed-size shards; shard ``i`` draws its syndromes
+  from a :class:`~repro.graphs.syndrome.SyndromeSampler` seeded with
+  ``numpy.random.SeedSequence([s, i])``.  Shard results are merged strictly in
+  shard order, so a run is a pure function of
+  ``(seed, shard_size, max_shots, target_standard_error)`` — the ``workers``
+  count never changes the result, only the wall-clock time.
+
+* **Batch decoding.**  Each wave of shards is sampled vectorized
+  (:meth:`~repro.graphs.syndrome.SyndromeSampler.sample_batch`) and its
+  non-trivial syndromes are fanned out in contiguous chunks over ``workers``
+  processes — the same order-preserving, bit-identical scheme as
+  :func:`repro.api.decode_batch`, except that the process pool and each
+  worker's decoder are built once and held for the whole run instead of once
+  per call.  Trivial shots (no defects) are tallied without decoding: they
+  are a logical error exactly when the undetected error chain flips the
+  observable.
+
+* **Early stopping.**  With a ``target_standard_error``, the engine stops
+  dispatching once the merged estimate's binomial standard error reaches the
+  target *and* at least one logical error has been observed (otherwise the
+  estimate is the degenerate ``0 ± 0``).  The stopping decision is evaluated
+  at shard boundaries, in shard order; shards decoded speculatively beyond
+  the stopping point are discarded, which is what keeps early-stopped runs
+  independent of ``workers``.
+
+* **Latency statistics.**  An optional ``latency_fn`` maps every decoded
+  outcome to seconds (see :func:`modelled_latency_fn` for the decoders with
+  published timing models); the per-shot values accumulate into a mergeable
+  fixed-bin log-spaced :class:`LatencyHistogram`.  Trivial shots never reach
+  the decoder, so they contribute no latency samples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..api.batch import chunk_evenly
+from ..api.config import DecoderConfig
+from ..api.outcome import DecodeOutcome
+from ..api.registry import decoder_spec
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.syndrome import Syndrome, SyndromeSampler
+from ..latency.model import (
+    HeliosLatencyModel,
+    MicroBlossomLatencyModel,
+    ParityBlossomLatencyModel,
+)
+
+#: Default number of shots per shard (the granularity of seeding, worker
+#: dispatch and early-stopping checks).
+DEFAULT_SHARD_SIZE = 256
+
+#: Maps a decoded outcome to its modelled (or measured) latency in seconds.
+LatencyFn = Callable[[DecodeOutcome], float]
+
+#: Per-process decoder of an engine worker, built once by the pool
+#: initializer and reused for every chunk the worker receives (PR 1
+#: established that engine reuse is bit-identical to fresh construction).
+_WORKER_DECODER = None
+
+
+def _engine_worker_init(graph, factory, config) -> None:
+    global _WORKER_DECODER
+    _WORKER_DECODER = factory(graph, config)
+
+
+def _engine_worker_decode(syndromes: Sequence[Syndrome]) -> list[DecodeOutcome]:
+    return [_WORKER_DECODER.decode_detailed(syndrome) for syndrome in syndromes]
+
+
+@dataclass
+class LatencyHistogram:
+    """Log-spaced latency histogram with fixed bins, mergeable across shards.
+
+    Values are clamped into ``[low, high)``; exact ``count``, ``sum``,
+    ``min`` and ``max`` are tracked alongside, so :attr:`mean` is exact while
+    :meth:`percentile` is accurate to one bin width (about 16 bins per decade
+    with the defaults).
+    """
+
+    low: float = 1e-9
+    high: float = 1e-2
+    num_bins: int = 112
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low < self.high:
+            raise ValueError("histogram bounds must satisfy 0 < low < high")
+        if self.num_bins < 1:
+            raise ValueError("histogram needs at least one bin")
+        if not self.counts:
+            self.counts = [0] * self.num_bins
+        elif len(self.counts) != self.num_bins:
+            raise ValueError("counts length does not match num_bins")
+
+    def _bin_index(self, seconds: float) -> int:
+        if seconds <= self.low:
+            return 0
+        position = math.log(seconds / self.low) / math.log(self.high / self.low)
+        return min(self.num_bins - 1, int(position * self.num_bins))
+
+    def add(self, seconds: float) -> None:
+        self.counts[self._bin_index(seconds)] += 1
+        self.count += 1
+        self.sum_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Accumulate another histogram (must share bounds and bin count)."""
+        if (self.low, self.high, self.num_bins) != (
+            other.low,
+            other.high,
+            other.num_bins,
+        ):
+            raise ValueError("cannot merge histograms with different binning")
+        for index, value in enumerate(other.counts):
+            self.counts[index] += value
+        self.count += other.count
+        self.sum_seconds += other.sum_seconds
+        self.min_seconds = min(self.min_seconds, other.min_seconds)
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.sum_seconds / self.count if self.count else 0.0
+
+    def bin_edges(self) -> list[float]:
+        """The ``num_bins + 1`` logarithmic bin edges in seconds."""
+        ratio = self.high / self.low
+        return [
+            self.low * ratio ** (index / self.num_bins)
+            for index in range(self.num_bins + 1)
+        ]
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``0 <= q <= 100``), in seconds.
+
+        Returns the upper edge of the bin containing the requested rank,
+        clamped to the exact observed ``[min, max]`` range.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must lie in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q / 100.0 * self.count)
+        edges = self.bin_edges()
+        cumulative = 0
+        for index, bin_count in enumerate(self.counts):
+            cumulative += bin_count
+            if cumulative >= rank:
+                return min(max(edges[index + 1], self.min_seconds), self.max_seconds)
+        return self.max_seconds
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Merged statistics of one decoded shard."""
+
+    index: int
+    shots: int
+    errors: int
+    decoded_shots: int
+    counters: Counter
+    histogram: LatencyHistogram | None = None
+
+
+@dataclass
+class EngineResult:
+    """Merged outcome of a :class:`MonteCarloEngine` run."""
+
+    shots: int
+    errors: int
+    shards: list[ShardResult] = field(default_factory=list)
+    histogram: LatencyHistogram | None = None
+    counters: Counter = field(default_factory=Counter)
+    stopped_early: bool = False
+
+    @property
+    def rate(self) -> float:
+        return self.errors / self.shots if self.shots else 0.0
+
+    @property
+    def standard_error(self) -> float:
+        if self.shots == 0:
+            return 0.0
+        rate = self.rate
+        return math.sqrt(max(rate * (1.0 - rate), 1e-300) / self.shots)
+
+    @property
+    def decoded_shots(self) -> int:
+        return sum(shard.decoded_shots for shard in self.shards)
+
+
+def modelled_latency_fn(name: str, graph: DecodingGraph) -> LatencyFn:
+    """The published timing model of a registered decoder as a `LatencyFn`.
+
+    Micro Blossom outcomes in stream mode contribute their post-final-round
+    counters (the work that determines decoding latency, paper §6); the
+    Union-Find decoder uses the Helios hardware model.  The graph must carry
+    its code ``distance`` in ``metadata`` (every built-in code family does).
+    """
+    distance = graph.metadata.get("distance")
+    if distance is None:
+        raise ValueError(
+            "graph metadata lacks 'distance'; modelled latency needs the code "
+            "distance to pick the accelerator clock"
+        )
+    if name in ("micro-blossom", "micro-blossom-batch"):
+        micro_model = MicroBlossomLatencyModel(distance, graph.num_edges)
+
+        def micro_latency(outcome: DecodeOutcome) -> float:
+            if getattr(outcome, "stream", False):
+                return micro_model.latency_seconds(outcome.post_final_round_counters)
+            return micro_model.latency_seconds(outcome.counters)
+
+        return micro_latency
+    if name == "parity-blossom":
+        parity_model = ParityBlossomLatencyModel()
+        return lambda outcome: parity_model.latency_seconds(
+            outcome.counters, outcome.defect_count
+        )
+    if name == "union-find":
+        helios_model = HeliosLatencyModel()
+        return lambda outcome: helios_model.latency_seconds(
+            distance, outcome.defect_count
+        )
+    raise ValueError(f"no latency model is defined for decoder {name!r}")
+
+
+class MonteCarloEngine:
+    """Sharded Monte-Carlo estimator of logical error rate and latency.
+
+    ``decoder`` is normally a registry name so worker processes can rebuild
+    it; an already-built decoder instance is also accepted but restricts the
+    engine to ``workers=1`` (instances cannot be shipped to a process pool).
+    """
+
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        decoder: str | object = "micro-blossom",
+        config: DecoderConfig | None = None,
+        *,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        workers: int = 1,
+        latency_fn: LatencyFn | None = None,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.graph = graph
+        self.shard_size = shard_size
+        self.workers = workers
+        self.latency_fn = latency_fn
+        self.config = config
+        if isinstance(decoder, str):
+            spec = decoder_spec(decoder)  # fail fast on unknown names
+            self.decoder_name: str | None = decoder
+            self.decoder_instance = None
+            if config is not None and not isinstance(config, spec.config_cls):
+                raise TypeError(
+                    f"decoder {decoder!r} expects a {spec.config_cls.__name__}, "
+                    f"got {type(config).__name__}"
+                )
+        else:
+            if workers > 1:
+                raise ValueError(
+                    "workers > 1 requires the decoder as a registry name so "
+                    "the worker processes can rebuild it"
+                )
+            self.decoder_name = None
+            self.decoder_instance = decoder
+
+    # ------------------------------------------------------------------
+    # seeding / sharding contract
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shard_seed(seed: int, shard_index: int) -> np.random.SeedSequence:
+        """The seed sequence of shard ``shard_index`` of a run seeded ``seed``."""
+        return np.random.SeedSequence([int(seed), int(shard_index)])
+
+    def shard_sampler(self, seed: int, shard_index: int) -> SyndromeSampler:
+        """The sampler that generates shard ``shard_index`` of a seeded run."""
+        return SyndromeSampler(self.graph, seed=self.shard_seed(seed, shard_index))
+
+    def _plan_shards(self, max_shots: int) -> list[int]:
+        full, remainder = divmod(max_shots, self.shard_size)
+        return [self.shard_size] * full + ([remainder] if remainder else [])
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _make_decode_fn(
+        self,
+    ) -> tuple[Callable[[Sequence[Syndrome]], list[DecodeOutcome]], Callable[[], None]]:
+        """Build the per-run decode pipeline: ``(decode, shutdown)``.
+
+        The decoder (and, with ``workers > 1``, the process pool plus one
+        decoder per worker) is constructed once and reused across every wave
+        of the run; outcomes always come back in input order and are
+        bit-identical for any worker count.
+        """
+        if self.decoder_name is None:
+            instance = self.decoder_instance
+
+            def decode_inline(syndromes: Sequence[Syndrome]) -> list[DecodeOutcome]:
+                return [instance.decode_detailed(s) for s in syndromes]
+
+            return decode_inline, lambda: None
+        spec = decoder_spec(self.decoder_name)
+        config = self.config if self.config is not None else spec.make_config()
+        if self.workers == 1:
+            decoder = spec.factory(self.graph, config)
+
+            def decode_sequential(syndromes: Sequence[Syndrome]) -> list[DecodeOutcome]:
+                return [decoder.decode_detailed(s) for s in syndromes]
+
+            return decode_sequential, lambda: None
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_engine_worker_init,
+            initargs=(self.graph, spec.factory, config),
+        )
+
+        def decode_parallel(syndromes: Sequence[Syndrome]) -> list[DecodeOutcome]:
+            if not syndromes:
+                return []
+            futures = [
+                pool.submit(_engine_worker_decode, chunk)
+                for chunk in chunk_evenly(syndromes, self.workers)
+            ]
+            outcomes: list[DecodeOutcome] = []
+            for future in futures:
+                outcomes.extend(future.result())
+            return outcomes
+
+        return decode_parallel, pool.shutdown
+
+    def _shard_result(
+        self,
+        index: int,
+        syndromes: Sequence[Syndrome],
+        outcomes: Sequence[DecodeOutcome],
+    ) -> ShardResult:
+        graph = self.graph
+        errors = 0
+        counters: Counter = Counter()
+        histogram = LatencyHistogram() if self.latency_fn is not None else None
+        outcome_iter = iter(outcomes)
+        for syndrome in syndromes:
+            if syndrome.logical_flip is None:
+                raise ValueError("sampled syndrome lacks ground truth")
+            if not syndrome.defects:
+                if syndrome.logical_flip:
+                    errors += 1
+                continue
+            outcome = next(outcome_iter)
+            correction = outcome.correction_edges(graph)
+            if graph.crosses_observable(correction) != syndrome.logical_flip:
+                errors += 1
+            counters.update(outcome.counters)
+            if histogram is not None:
+                histogram.add(self.latency_fn(outcome))
+        return ShardResult(
+            index=index,
+            shots=len(syndromes),
+            errors=errors,
+            decoded_shots=len(outcomes),
+            counters=counters,
+            histogram=histogram,
+        )
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_shots: int,
+        seed: int | None = 0,
+        target_standard_error: float | None = None,
+    ) -> EngineResult:
+        """Estimate the logical error rate over at most ``max_shots`` shots.
+
+        ``seed = None`` draws a fresh base seed from OS entropy (the run is
+        then not reproducible).  ``target_standard_error`` enables early
+        stopping as described in the module docstring.
+        """
+        if max_shots <= 0:
+            raise ValueError("max_shots must be positive")
+        if target_standard_error is not None and target_standard_error <= 0:
+            raise ValueError("target_standard_error must be positive")
+        if seed is None:
+            seed = int(np.random.SeedSequence().generate_state(1)[0])
+        plan = self._plan_shards(max_shots)
+        result = EngineResult(shots=0, errors=0)
+        merged_histogram = (
+            LatencyHistogram() if self.latency_fn is not None else None
+        )
+        wave_size = max(1, self.workers)
+        decode, shutdown = self._make_decode_fn()
+        try:
+            position = 0
+            while position < len(plan):
+                wave = plan[position : position + wave_size]
+                wave_syndromes = [
+                    self.shard_sampler(seed, position + offset).sample_batch(shots)
+                    for offset, shots in enumerate(wave)
+                ]
+                nontrivial = [
+                    [s for s in shard if s.defects] for shard in wave_syndromes
+                ]
+                outcomes = decode([s for shard in nontrivial for s in shard])
+                cursor = 0
+                stop = False
+                for offset, shard_syndromes in enumerate(wave_syndromes):
+                    decoded = outcomes[cursor : cursor + len(nontrivial[offset])]
+                    cursor += len(nontrivial[offset])
+                    shard = self._shard_result(
+                        position + offset, shard_syndromes, decoded
+                    )
+                    result.shards.append(shard)
+                    result.shots += shard.shots
+                    result.errors += shard.errors
+                    result.counters.update(shard.counters)
+                    if merged_histogram is not None and shard.histogram is not None:
+                        merged_histogram.merge(shard.histogram)
+                    if (
+                        target_standard_error is not None
+                        and result.errors > 0
+                        and result.standard_error <= target_standard_error
+                    ):
+                        # Speculatively decoded shards beyond this one are
+                        # discarded so the outcome is identical for any
+                        # ``workers`` count.
+                        result.stopped_early = True
+                        stop = True
+                        break
+                if stop:
+                    break
+                position += len(wave)
+        finally:
+            shutdown()
+        result.histogram = merged_histogram
+        return result

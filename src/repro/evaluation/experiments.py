@@ -119,8 +119,8 @@ def _sample_micro(
     model = MicroBlossomLatencyModel(distance, graph.num_edges)
     sampler = SyndromeSampler(graph, seed=seed)
     return [
-        decode_micro_sample(graph, session, model, sampler.sample())
-        for _ in range(samples)
+        decode_micro_sample(graph, session, model, syndrome)
+        for syndrome in sampler.sample_batch(samples)
     ]
 
 
@@ -131,8 +131,8 @@ def _sample_parity(
     model = ParityBlossomLatencyModel()
     sampler = SyndromeSampler(graph, seed=seed)
     return [
-        decode_parity_sample(graph, session, model, sampler.sample())
-        for _ in range(samples)
+        decode_parity_sample(graph, session, model, syndrome)
+        for syndrome in sampler.sample_batch(samples)
     ]
 
 
@@ -159,8 +159,7 @@ def amdahl_profile(
         sampler = SyndromeSampler(graph, seed=seed + distance)
         dual_total = 0.0
         primal_total = 0.0
-        for _ in range(samples):
-            syndrome = sampler.sample()
+        for syndrome in sampler.sample_batch(samples):
             outcome = decoder.decode_detailed(syndrome)
             dual, primal = model.phase_seconds(outcome.counters, outcome.defect_count)
             dual_total += dual + model.base_seconds * 0.5

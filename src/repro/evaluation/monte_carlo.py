@@ -15,6 +15,7 @@ from ..graphs.syndrome import (
     Syndrome,
     SyndromeSampler,
 )
+from .engine import DEFAULT_SHARD_SIZE, MonteCarloEngine
 
 
 @dataclass(frozen=True)
@@ -109,51 +110,67 @@ def estimate_logical_error_rate(
     sampler: SyndromeSampler | None = None,
     config: DecoderConfig | None = None,
     workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    target_standard_error: float | None = None,
 ) -> LogicalErrorRateResult:
     """Monte-Carlo logical error rate of a decoder on a decoding graph.
 
     ``decoder`` is either an object satisfying the
-    :class:`repro.api.Decoder` protocol or a registry name (resolved via
-    :func:`repro.api.get_decoder` with ``config``).  With ``workers > 1`` the
-    decoder must be given by name; the sampled syndromes are then decoded with
-    :func:`repro.api.decode_batch` over a process pool, which yields the exact
-    same error count as the sequential loop.
+    :class:`repro.api.Decoder` protocol or a registry name (resolved through
+    the registry with ``config``).  The estimate runs on the sharded
+    :class:`~repro.evaluation.engine.MonteCarloEngine`: shots are sampled
+    vectorized in seed-stable shards of ``shard_size`` and decoded over
+    ``workers`` processes (which requires ``decoder`` as a registry name);
+    the result is identical for every ``workers`` count.  A
+    ``target_standard_error`` stops the run early once the estimate is tight
+    enough, in which case the returned ``samples`` is the number of shots
+    actually consumed.
+
+    Passing an explicit ``sampler`` bypasses the sharded seeding contract and
+    decodes ``num_samples`` shots drawn sequentially from that sampler (still
+    fanned over ``workers`` processes); use it when the caller controls the
+    RNG stream.  Early stopping requires engine-managed sampling, so
+    ``target_standard_error`` cannot be combined with ``sampler``.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    sampler = sampler or SyndromeSampler(graph, seed=seed)
-    if workers > 1:
-        if not isinstance(decoder, str):
+    if sampler is not None:
+        if target_standard_error is not None:
             raise ValueError(
-                "workers > 1 requires the decoder as a registry name so the "
-                "worker processes can rebuild it"
+                "target_standard_error requires engine-managed sampling and "
+                "cannot be combined with an explicit sampler"
             )
-        syndromes = [sampler.sample() for _ in range(num_samples)]
-        errors = sum(
-            1 for s in syndromes if not s.defects and s.logical_flip
-        )
+        syndromes = sampler.sample_batch(num_samples)
+        errors = sum(1 for s in syndromes if not s.defects and s.logical_flip)
         nontrivial = [s for s in syndromes if s.defects]
-        batch = decode_batch(graph, decoder, nontrivial, config=config, workers=workers)
-        for syndrome, outcome in zip(nontrivial, batch.outcomes):
+        if workers > 1:
+            if not isinstance(decoder, str):
+                raise ValueError(
+                    "workers > 1 requires the decoder as a registry name so "
+                    "the worker processes can rebuild it"
+                )
+            outcomes = decode_batch(
+                graph, decoder, nontrivial, config=config, workers=workers
+            ).outcomes
+        else:
+            if isinstance(decoder, str):
+                decoder = get_decoder(decoder, graph, config)
+            outcomes = [decoder.decode_detailed(s) for s in nontrivial]
+        for syndrome, outcome in zip(nontrivial, outcomes):
             if _is_correction_logical_error(
                 graph, syndrome, outcome.correction_edges(graph)
             ):
                 errors += 1
         return LogicalErrorRateResult(samples=num_samples, errors=errors)
-    if isinstance(decoder, str):
-        decoder = get_decoder(decoder, graph, config)
-    errors = 0
-    for _ in range(num_samples):
-        syndrome = sampler.sample()
-        if not syndrome.defects:
-            if syndrome.logical_flip:
-                errors += 1
-            continue
-        if is_decoder_logical_error(graph, decoder, syndrome):
-            errors += 1
-    return LogicalErrorRateResult(samples=num_samples, errors=errors)
+    engine = MonteCarloEngine(
+        graph, decoder, config=config, shard_size=shard_size, workers=workers
+    )
+    result = engine.run(
+        num_samples, seed=seed, target_standard_error=target_standard_error
+    )
+    return LogicalErrorRateResult(samples=result.shots, errors=result.errors)
 
 
 def collect_latency_samples(
@@ -161,16 +178,20 @@ def collect_latency_samples(
     decode_with_latency: Callable[[Syndrome], tuple[float, bool]],
     num_samples: int,
     seed: int | None = None,
+    sampler: SyndromeSampler | None = None,
 ) -> LatencyDistributionResult:
     """Sample syndromes and record ``(latency, logical_error)`` per decode.
 
     ``decode_with_latency`` maps a syndrome to its decoding latency (seconds)
-    and whether the decode produced a logical error.
+    and whether the decode produced a logical error.  Syndromes are drawn with
+    the vectorized batch sampler; for sharded multi-process latency
+    collection with a registered decoder, use
+    :class:`~repro.evaluation.engine.MonteCarloEngine` with a ``latency_fn``
+    instead (an arbitrary callable cannot be shipped to worker processes).
     """
-    sampler = SyndromeSampler(graph, seed=seed)
+    sampler = sampler or SyndromeSampler(graph, seed=seed)
     result = LatencyDistributionResult()
-    for _ in range(num_samples):
-        syndrome = sampler.sample()
+    for syndrome in sampler.sample_batch(num_samples):
         latency, logical_error = decode_with_latency(syndrome)
         result.samples.append(
             LatencySample(

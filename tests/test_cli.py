@@ -76,6 +76,58 @@ class TestOtherCommands:
         assert exit_code == 0
         assert "logical_error_rate" in capsys.readouterr().out
 
+    def test_accuracy_with_early_stopping_and_workers(self, capsys):
+        exit_code = main(
+            [
+                "accuracy",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.04",
+                "--samples",
+                "400",
+                "--shard-size",
+                "50",
+                "--workers",
+                "2",
+                "--target-se",
+                "0.05",
+                "--decoder",
+                "reference",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "logical_error_rate" in output
+        # early stopping reports the shots actually consumed
+        samples = int(output.split("samples=")[1].split()[0])
+        assert samples <= 400 and samples % 50 == 0
+
+    def test_latency_command(self, capsys):
+        exit_code = main(
+            [
+                "latency",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.01",
+                "--samples",
+                "60",
+                "--shard-size",
+                "30",
+                "--decoder",
+                "parity-blossom",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "latency_us" in output
+        assert "p99=" in output
+
+    def test_latency_rejects_decoder_without_model(self):
+        with pytest.raises(SystemExit):
+            main(["latency", "--decoder", "reference"])
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])

@@ -1,0 +1,100 @@
+"""Randomized cross-decoder conformance suite.
+
+Every decoder in the registry is driven over the same seeded random syndromes
+across all three noise families, checking the structural contract every
+backend must satisfy on every shot:
+
+* the correction annihilates every defect (no residual syndrome);
+* the defect pairing is a *perfect* matching (each defect matched exactly
+  once);
+* the matching weight realised on the decoding graph never beats the
+  reference MWPM optimum — and equals it for the exact decoders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import available_decoders, get_decoder
+from repro.graphs import (
+    SyndromeSampler,
+    circuit_level_noise,
+    code_capacity_noise,
+    phenomenological_noise,
+    residual_defects,
+    surface_code_decoding_graph,
+)
+from repro.graphs.syndrome import matching_weight
+from repro.matching import ReferenceDecoder
+
+#: Decoders guaranteed to realise the exact minimum-weight perfect matching.
+EXACT_DECODERS = {"micro-blossom", "micro-blossom-batch", "parity-blossom", "reference"}
+
+NOISE_FAMILIES = {
+    "code_capacity": lambda: surface_code_decoding_graph(
+        5, code_capacity_noise(0.06)
+    ),
+    "phenomenological": lambda: surface_code_decoding_graph(
+        3, phenomenological_noise(0.04)
+    ),
+    "circuit_level": lambda: surface_code_decoding_graph(
+        3, circuit_level_noise(0.03)
+    ),
+}
+
+SHOTS_PER_FAMILY = 25
+
+
+@pytest.fixture(scope="module", params=sorted(NOISE_FAMILIES))
+def conformance_case(request):
+    """One noise family: its graph, seeded syndromes and reference optima."""
+    graph = NOISE_FAMILIES[request.param]()
+    sampler = SyndromeSampler(graph, seed=20260729)
+    syndromes = [
+        s for s in sampler.sample_batch(SHOTS_PER_FAMILY * 2) if s.defects
+    ][:SHOTS_PER_FAMILY]
+    assert len(syndromes) >= 10, "noise too weak to exercise the decoders"
+    reference = ReferenceDecoder(graph)
+    optima = [reference.decode(s).weight for s in syndromes]
+    return request.param, graph, syndromes, optima
+
+
+def test_registry_has_all_backends():
+    assert EXACT_DECODERS | {"union-find"} <= set(available_decoders())
+
+
+@pytest.mark.parametrize("name", sorted(available_decoders()))
+def test_decoder_conformance(conformance_case, name):
+    family, graph, syndromes, optima = conformance_case
+    decoder = get_decoder(name, graph)
+    for syndrome, optimum in zip(syndromes, optima):
+        label = f"{name} on {family} defects={syndrome.defects}"
+
+        # 1. the correction must annihilate the syndrome on every shot
+        correction = decoder.decode_to_correction(syndrome)
+        assert residual_defects(graph, syndrome, correction) == (), label
+
+        # 2. the defect pairing must be a perfect matching on every shot
+        result = decoder.decode(syndrome)
+        result.validate_perfect(syndrome.defects)
+
+        # 3. realised matching weight never beats the reference MWPM optimum
+        realised = matching_weight(graph, result)
+        assert realised >= optimum, label
+        if name in EXACT_DECODERS:
+            assert result.weight == optimum, label
+            assert realised == optimum, label
+
+
+@pytest.mark.parametrize("name", sorted(available_decoders()))
+def test_decode_detailed_correction_matches_decode(conformance_case, name):
+    """The protocol surfaces agree: outcome corrections annihilate defects."""
+    family, graph, syndromes, _ = conformance_case
+    decoder = get_decoder(name, graph)
+    for syndrome in syndromes[:8]:
+        outcome = decoder.decode_detailed(syndrome)
+        correction = outcome.correction_edges(graph)
+        assert residual_defects(graph, syndrome, correction) == (), (
+            f"{name} on {family}"
+        )
+        assert outcome.defect_count == syndrome.defect_count

@@ -1,0 +1,135 @@
+"""Property tests: vectorized ``sample_batch`` is bit-identical to ``sample``.
+
+The sharded Monte-Carlo engine leans on ``SyndromeSampler.sample_batch``
+consuming the exact same RNG stream as sequential ``sample()`` calls, across
+every noise family and measurement-round count, so the equality is pinned
+here property-style over a grid of graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    SyndromeSampler,
+    circuit_level_noise,
+    code_capacity_noise,
+    phenomenological_noise,
+    repetition_code_decoding_graph,
+    surface_code_decoding_graph,
+)
+
+GRAPHS = {
+    "code_capacity_d3": lambda: surface_code_decoding_graph(
+        3, code_capacity_noise(0.08)
+    ),
+    "code_capacity_d5": lambda: surface_code_decoding_graph(
+        5, code_capacity_noise(0.03)
+    ),
+    "phenomenological_d3_r2": lambda: surface_code_decoding_graph(
+        3, phenomenological_noise(0.04), rounds=2
+    ),
+    "phenomenological_d3_r5": lambda: surface_code_decoding_graph(
+        3, phenomenological_noise(0.02), rounds=5
+    ),
+    "circuit_level_d3": lambda: surface_code_decoding_graph(
+        3, circuit_level_noise(0.02)
+    ),
+    "circuit_level_d5_r3": lambda: surface_code_decoding_graph(
+        5, circuit_level_noise(0.005), rounds=3
+    ),
+    "repetition_d5_pheno": lambda: repetition_code_decoding_graph(
+        5, phenomenological_noise(0.05)
+    ),
+}
+
+
+def _assert_same_shots(first, second):
+    assert [s.defects for s in first] == [s.defects for s in second]
+    assert [s.error_edges for s in first] == [s.error_edges for s in second]
+    assert [s.logical_flip for s in first] == [s.logical_flip for s in second]
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("count", [1, 2, 17])
+@pytest.mark.parametrize("seed", [0, 1234])
+def test_batch_equals_sequential(graph_name, count, seed):
+    graph = GRAPHS[graph_name]()
+    scalar_sampler = SyndromeSampler(graph, seed=seed)
+    sequential = [scalar_sampler.sample() for _ in range(count)]
+    # a fresh sampler with the same seed must reproduce the identical stream
+    batch = SyndromeSampler(graph, seed=seed).sample_batch(count)
+    _assert_same_shots(sequential, batch)
+    assert sequential == batch  # full dataclass equality, field by field
+
+
+@pytest.mark.parametrize("graph_name", ["circuit_level_d3", "code_capacity_d5"])
+def test_batch_leaves_rng_in_scalar_state(graph_name):
+    graph = GRAPHS[graph_name]()
+    scalar = SyndromeSampler(graph, seed=7)
+    batch = SyndromeSampler(graph, seed=7)
+    for _ in range(9):
+        scalar.sample()
+    batch.sample_batch(9)
+    # the streams stay aligned: mixing scalar and batch draws is allowed
+    assert scalar.sample() == batch.sample()
+    _assert_same_shots(
+        [scalar.sample() for _ in range(4)], batch.sample_batch(4)
+    )
+
+
+def test_batch_is_chunked_transparently(monkeypatch):
+    graph = GRAPHS["circuit_level_d3"]()
+    monkeypatch.setattr(SyndromeSampler, "_CHUNK_WORDS", 64)
+    chunked_sampler = SyndromeSampler(graph, seed=3)
+    assert 64 // chunked_sampler._words_per_shot < 25  # really multiple chunks
+    chunked = chunked_sampler.sample_batch(25)
+    monkeypatch.undo()
+    _assert_same_shots(SyndromeSampler(graph, seed=3).sample_batch(25), chunked)
+
+
+def test_empty_batch_consumes_no_randomness():
+    graph = GRAPHS["code_capacity_d3"]()
+    sampler = SyndromeSampler(graph, seed=5)
+    assert sampler.sample_batch(0) == []
+    assert sampler.sample() == SyndromeSampler(graph, seed=5).sample()
+
+
+def test_negative_count_rejected():
+    graph = GRAPHS["code_capacity_d3"]()
+    with pytest.raises(ValueError):
+        SyndromeSampler(graph, seed=0).sample_batch(-1)
+
+
+def test_seed_sequence_and_generator_seeds():
+    graph = GRAPHS["circuit_level_d3"]()
+    sequence = np.random.SeedSequence([11, 4])
+    first = SyndromeSampler(graph, seed=np.random.SeedSequence([11, 4])).sample_batch(6)
+    second = SyndromeSampler(graph, seed=sequence).sample_batch(6)
+    assert first == second
+    generator = np.random.Generator(np.random.SFC64(np.random.SeedSequence([11, 4])))
+    third = SyndromeSampler(graph, seed=generator).sample_batch(6)
+    assert first == third
+
+
+def test_batch_syndromes_behave_like_scalar_ones():
+    """Batch-built syndromes are full ``Syndrome`` instances (hash, repr, ...)."""
+    graph = GRAPHS["circuit_level_d3"]()
+    shot = SyndromeSampler(graph, seed=2).sample_batch(1)[0]
+    assert isinstance(shot.defects, tuple)
+    assert isinstance(shot.error_edges, tuple)
+    assert isinstance(shot.logical_flip, bool)
+    assert hash(shot) == hash(SyndromeSampler(graph, seed=2).sample())
+    assert "Syndrome" in repr(shot)
+    with pytest.raises(AttributeError):  # still frozen
+        shot.defects = ()
+
+
+def test_batch_flip_statistics_match_error_model():
+    graph = GRAPHS["code_capacity_d5"]()
+    sampler = SyndromeSampler(graph, seed=99)
+    shots = sampler.sample_batch(4000)
+    mean_flips = sum(len(s.error_edges) for s in shots) / len(shots)
+    expected = sum(edge.probability for edge in graph.edges)
+    assert mean_flips == pytest.approx(expected, rel=0.1)
