@@ -15,6 +15,7 @@ the grid; the software decoder is competitive only at the smallest p·d corner
 from __future__ import annotations
 
 from repro.evaluation import effective_error_grid, format_rows
+from repro.sweeps import ResultStore
 
 DISTANCES = (3, 5, 7, 9, 11, 13, 15)
 ERROR_RATES = (0.0001, 0.0005, 0.001, 0.005)
@@ -56,8 +57,14 @@ def bench_figure11_effective_error_grid(benchmark):
     assert winners <= {"helios", "parity-blossom", "micro-blossom"}
 
 
-def bench_figure11_with_monte_carlo_calibration(benchmark):
-    """Same grid, but with the scaling laws calibrated by Monte Carlo."""
+def bench_figure11_with_monte_carlo_calibration(benchmark, tmp_path):
+    """Same grid, with the scaling laws calibrated by a resumable sweep.
+
+    The calibration grid runs through `repro.sweeps` with an on-disk
+    `ResultStore`: the second call must hit the cache for every point (the
+    store is the only state carried between the calls).
+    """
+    store = ResultStore(tmp_path / "calibration.jsonl")
     rows = benchmark.pedantic(
         effective_error_grid,
         kwargs={
@@ -65,10 +72,23 @@ def bench_figure11_with_monte_carlo_calibration(benchmark):
             "error_rates": (0.0005, 0.005),
             "calibration_samples": 150,
             "seed": 17,
+            "store": store,
         },
         rounds=1,
         iterations=1,
     )
+    # the calibration points are in the store now: a rerun is pure cache hits,
+    # bit-identical to the first run (sweep determinism contract)
+    fingerprint = store.fingerprint()
+    rerun = effective_error_grid(
+        distances=(3, 9, 15),
+        error_rates=(0.0005, 0.005),
+        calibration_samples=150,
+        seed=17,
+        store=store,
+    )
+    assert rerun == rows
+    assert store.fingerprint() == fingerprint
     print("\nFigure 11 (Monte-Carlo calibrated subset)")
     print(
         format_rows(

@@ -6,7 +6,11 @@ The CLI exposes the most common workflows without writing any Python:
 * ``experiment`` — run one of the paper's experiments and print its table;
 * ``resources``  — print the Table 4 resource model;
 * ``accuracy``   — Monte-Carlo logical error rate of a decoder;
-* ``latency``    — Monte-Carlo latency distribution under the timing models.
+* ``latency``    — Monte-Carlo latency distribution under the timing models;
+* ``sweep``      — declarative, resumable (d × noise × p × decoder) sweeps
+  with an on-disk result store and a ``BENCH_sweep.json`` exporter
+  (``run`` / ``resume`` / ``report`` / ``export-bench``, see
+  ``docs/sweeps.md``).
 
 ``accuracy`` and ``latency`` run on the sharded
 :class:`repro.evaluation.MonteCarloEngine` (see ``docs/evaluation.md``):
@@ -26,6 +30,7 @@ from typing import Sequence
 
 from .api import available_decoders, get_decoder
 from .evaluation import (
+    DECODERS_WITH_TIMING_MODELS,
     MonteCarloEngine,
     amdahl_profile,
     effective_error_grid,
@@ -39,6 +44,19 @@ from .evaluation import (
 )
 from .graphs import SyndromeSampler, noise_model_by_name, surface_code_decoding_graph
 from .matching import ReferenceDecoder
+from .sweeps import (
+    SMOKE_SPEC,
+    BenchSchemaError,
+    ResultStore,
+    StoreError,
+    SweepSpec,
+    bench_document,
+    fit_sweep_scaling,
+    make_spec,
+    report_rows,
+    run_sweep,
+    write_bench,
+)
 
 EXPERIMENTS = {
     "figure2": (
@@ -140,12 +158,81 @@ def _build_parser() -> argparse.ArgumentParser:
     latency.add_argument("--seed", type=int, default=0)
     latency.add_argument(
         "--decoder",
-        choices=["micro-blossom", "micro-blossom-batch", "parity-blossom", "union-find"],
+        choices=list(DECODERS_WITH_TIMING_MODELS),
         default="micro-blossom",
         help="decoders with a published timing model",
     )
     latency.add_argument("--workers", type=int, default=1)
     latency.add_argument("--shard-size", type=int, default=256)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="declarative, resumable evaluation sweeps (see docs/sweeps.md)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_store(sub, required: bool) -> None:
+        sub.add_argument(
+            "--store",
+            required=required,
+            default=None,
+            help="JSON-lines result store (completed points are never re-run)",
+        )
+
+    run = sweep_sub.add_parser(
+        "run", help="run every point of a sweep spec, resuming from the store"
+    )
+    add_store(run, required=False)
+    run.add_argument("--workers", type=int, default=1)
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the pinned CI smoke spec instead of flags/--spec",
+    )
+    run.add_argument("--spec", default=None, help="JSON sweep spec file")
+    run.add_argument("--name", default="sweep")
+    run.add_argument("--distances", default="3,5", help="comma-separated odd distances")
+    run.add_argument("--error-rates", default="0.01,0.02", help="comma-separated rates")
+    run.add_argument(
+        "--decoders", default="micro-blossom", help="comma-separated registry names"
+    )
+    run.add_argument(
+        "--noise-models", default="circuit_level", help="comma-separated noise names"
+    )
+    run.add_argument("--shots", type=int, default=1000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--shard-size", type=int, default=256)
+    run.add_argument(
+        "--target-se",
+        type=float,
+        default=None,
+        help="per-point early-stopping target standard error",
+    )
+    run.add_argument(
+        "--latency",
+        action="store_true",
+        help="collect latency histograms under the published timing models",
+    )
+
+    resume = sweep_sub.add_parser(
+        "resume",
+        help="continue an interrupted sweep from its store (spec is read "
+        "from the store, no flags needed)",
+    )
+    add_store(resume, required=True)
+    resume.add_argument("--workers", type=int, default=1)
+
+    report = sweep_sub.add_parser(
+        "report", help="tabulate stored results (zero-failure points as bounds)"
+    )
+    add_store(report, required=True)
+
+    export = sweep_sub.add_parser(
+        "export-bench",
+        help="emit the schema-validated BENCH_sweep.json performance trajectory",
+    )
+    add_store(export, required=True)
+    export.add_argument("--output", default="BENCH_sweep.json")
     return parser
 
 
@@ -207,10 +294,21 @@ def _command_accuracy(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         target_standard_error=args.target_se,
     )
+    if estimate.zero_failures:
+        # 0 errors in n shots is the degenerate estimate 0 ± 0; surface the
+        # one-sided rule-of-three bound instead.
+        rate_text = (
+            f"logical_error_rate<={estimate.upper_bound:.4g} "
+            f"(95% one-sided, rule of three; 0 errors observed)"
+        )
+    else:
+        rate_text = (
+            f"logical_error_rate={estimate.rate:.4g} "
+            f"(+/- {estimate.standard_error:.2g})"
+        )
     print(
         f"decoder={args.decoder} d={args.distance} p={args.error_rate} "
-        f"samples={estimate.samples} errors={estimate.errors} "
-        f"logical_error_rate={estimate.rate:.4g} (+/- {estimate.standard_error:.2g})"
+        f"samples={estimate.samples} errors={estimate.errors} {rate_text}"
     )
     return 0
 
@@ -248,6 +346,157 @@ def _command_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+REPORT_COLUMNS = [
+    "distance",
+    "noise",
+    "physical_error_rate",
+    "decoder",
+    "shots",
+    "errors",
+    "logical_error_rate",
+    "upper_bound",
+    "shots_per_sec",
+    "cached",
+]
+
+
+def _parse_list(text: str, convert) -> tuple:
+    return tuple(convert(item) for item in text.split(",") if item.strip())
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    if args.smoke:
+        return SMOKE_SPEC
+    if args.spec:
+        return SweepSpec.from_file(args.spec)
+    return make_spec(
+        args.name,
+        _parse_list(args.distances, int),
+        _parse_list(args.error_rates, float),
+        _parse_list(args.decoders, str),
+        args.shots,
+        noise_models=_parse_list(args.noise_models, str),
+        seed=args.seed,
+        shard_size=args.shard_size,
+        target_standard_error=args.target_se,
+        collect_latency=args.latency,
+    )
+
+
+def _report_table(results) -> str:
+    rows = report_rows(results)
+    columns = list(REPORT_COLUMNS)
+    if any("latency_p99_us" in row for row in rows):
+        columns.append("latency_p99_us")
+    return format_rows(rows, columns)
+
+
+def _print_sweep_summary(run) -> None:
+    spec = run.spec
+    print(
+        f"sweep {spec.name!r} [{run.spec_hash}]: "
+        f"{len(run.results)} points ({run.completed} run, {run.cached} cached)"
+    )
+    print(_report_table(run.results))
+
+
+def _run_sweep_command(args: argparse.Namespace, spec: SweepSpec) -> int:
+    store = ResultStore(args.store)
+    total = len(spec.expand())
+
+    def progress(point, result) -> None:
+        status = "cached" if result.cached else f"{result.elapsed_seconds:.2f}s"
+        print(f"  [{len(completed) + 1}/{total}] {point.key} {status}")
+        completed.append(point)
+
+    completed: list = []
+    run = run_sweep(spec, store, workers=args.workers, progress=progress)
+    _print_sweep_summary(run)
+    return 0
+
+
+def _command_sweep_run(args: argparse.Namespace) -> int:
+    return _run_sweep_command(args, _sweep_spec_from_args(args))
+
+
+def _command_sweep_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    specs = store.specs
+    if not specs:
+        print(
+            f"store {args.store!r} records no sweep spec; run `repro sweep run` first",
+            file=sys.stderr,
+        )
+        return 2
+    for spec in specs.values():
+        run = run_sweep(spec, store, workers=args.workers)
+        _print_sweep_summary(run)
+    return 0
+
+
+def _command_sweep_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not len(store):
+        print(f"store {args.store!r} holds no results", file=sys.stderr)
+        return 2
+    for spec_hash, spec in store.specs.items():
+        results = store.results(spec_hash)
+        if not results:
+            continue
+        print(f"sweep {spec.name!r} [{spec_hash}]: {len(results)} stored points")
+        print(_report_table(results))
+        for noise in spec.noise_models:
+            for decoder in spec.decoders:
+                try:
+                    fit = fit_sweep_scaling(results, noise=noise, decoder=decoder)
+                except ValueError:
+                    continue
+                print(
+                    f"  scaling fit {noise}/{decoder}: "
+                    f"threshold={fit.threshold:.3g} amplitude={fit.amplitude:.3g}"
+                )
+    return 0
+
+
+def _command_sweep_export(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    specs = store.specs
+    if not specs:
+        print(f"store {args.store!r} records no sweep spec", file=sys.stderr)
+        return 2
+    # export the most recently recorded sweep
+    spec_hash, spec = list(specs.items())[-1]
+    run = run_sweep(spec, store)  # cache-complete by construction
+    if run.completed:
+        print(
+            f"note: {run.completed} missing points were computed before export",
+            file=sys.stderr,
+        )
+    try:
+        path = write_bench(bench_document(run), args.output)
+    except BenchSchemaError as error:
+        print(f"BENCH schema violation: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {path} ({len(run.results)} points, spec {spec.name!r})")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _command_sweep_run,
+        "resume": _command_sweep_resume,
+        "report": _command_sweep_report,
+        "export-bench": _command_sweep_export,
+    }
+    try:
+        return handlers[args.sweep_command](args)
+    except StoreError as error:
+        # torn trailing lines are repaired transparently on load; reaching
+        # here means genuine corruption (a malformed *terminated* record)
+        print(f"result store is corrupt: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the test suite."""
     args = _build_parser().parse_args(argv)
@@ -257,6 +506,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "resources": _command_resources,
         "accuracy": _command_accuracy,
         "latency": _command_latency,
+        "sweep": _command_sweep,
     }
     return handlers[args.command](args)
 

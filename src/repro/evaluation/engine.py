@@ -173,6 +173,43 @@ class LatencyHistogram:
         return self.max_seconds
 
 
+#: Registry names whose published timing models :func:`modelled_latency_fn`
+#: and :func:`modelled_trivial_latency_seconds` implement (the single source
+#: of truth for "decoders with a latency model").
+DECODERS_WITH_TIMING_MODELS = (
+    "micro-blossom",
+    "micro-blossom-batch",
+    "parity-blossom",
+    "union-find",
+)
+
+
+def binomial_standard_error(errors: int, samples: int) -> float:
+    """Standard error of a binomial rate estimate (0 for an empty sample)."""
+    if samples <= 0:
+        return 0.0
+    rate = errors / samples
+    return math.sqrt(max(rate * (1.0 - rate), 1e-300) / samples)
+
+
+def rule_of_three_upper_bound(errors: int, samples: int) -> float:
+    """One-sided 95% upper bound on a binomial rate.
+
+    With zero observed failures the maximum-likelihood rate and its binomial
+    standard error are both the degenerate ``0 ± 0``; the *rule of three*
+    gives the exact one-sided 95% bound ``3 / n`` instead.  With failures
+    observed, the normal-approximation bound ``rate + 1.645·SE`` is used.
+    Reports surface zero-failure points through this bound, and threshold
+    fits exclude them (see :mod:`repro.sweeps.fits`).
+    """
+    if samples <= 0:
+        return 1.0
+    if errors == 0:
+        return min(1.0, 3.0 / samples)
+    rate = errors / samples
+    return min(1.0, rate + 1.645 * binomial_standard_error(errors, samples))
+
+
 @dataclass(frozen=True)
 class ShardResult:
     """Merged statistics of one decoded shard."""
@@ -183,6 +220,7 @@ class ShardResult:
     decoded_shots: int
     counters: Counter
     histogram: LatencyHistogram | None = None
+    defects: int = 0
 
 
 @dataclass
@@ -195,6 +233,7 @@ class EngineResult:
     histogram: LatencyHistogram | None = None
     counters: Counter = field(default_factory=Counter)
     stopped_early: bool = False
+    defects: int = 0
 
     @property
     def rate(self) -> float:
@@ -202,10 +241,12 @@ class EngineResult:
 
     @property
     def standard_error(self) -> float:
-        if self.shots == 0:
-            return 0.0
-        rate = self.rate
-        return math.sqrt(max(rate * (1.0 - rate), 1e-300) / self.shots)
+        return binomial_standard_error(self.errors, self.shots)
+
+    @property
+    def upper_bound(self) -> float:
+        """One-sided 95% upper bound on the rate (rule of three when 0 errors)."""
+        return rule_of_three_upper_bound(self.errors, self.shots)
 
     @property
     def decoded_shots(self) -> int:
@@ -248,6 +289,29 @@ def modelled_latency_fn(name: str, graph: DecodingGraph) -> LatencyFn:
     raise ValueError(f"no latency model is defined for decoder {name!r}")
 
 
+def modelled_trivial_latency_seconds(name: str, graph: DecodingGraph) -> float:
+    """Modelled latency of a shot with no defects (the decoder's floor).
+
+    Trivial shots never reach the decoder, so there is no
+    :class:`DecodeOutcome` to feed a :data:`LatencyFn`; this is the constant
+    each timing model assigns to an empty workload.  Used by the sweep runner
+    so latency statistics cover *every* shot, not just the decoded ones.
+    """
+    distance = graph.metadata.get("distance")
+    if distance is None:
+        raise ValueError(
+            "graph metadata lacks 'distance'; modelled latency needs the code "
+            "distance to pick the accelerator clock"
+        )
+    if name in ("micro-blossom", "micro-blossom-batch"):
+        return MicroBlossomLatencyModel(distance, graph.num_edges).latency_seconds({})
+    if name == "parity-blossom":
+        return ParityBlossomLatencyModel().latency_seconds({}, 0)
+    if name == "union-find":
+        return HeliosLatencyModel().latency_seconds(distance, 0)
+    raise ValueError(f"no latency model is defined for decoder {name!r}")
+
+
 class MonteCarloEngine:
     """Sharded Monte-Carlo estimator of logical error rate and latency.
 
@@ -265,15 +329,24 @@ class MonteCarloEngine:
         shard_size: int = DEFAULT_SHARD_SIZE,
         workers: int = 1,
         latency_fn: LatencyFn | None = None,
+        trivial_latency_seconds: float | None = None,
     ) -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if trivial_latency_seconds is not None and trivial_latency_seconds < 0:
+            raise ValueError("trivial_latency_seconds must be non-negative")
         self.graph = graph
         self.shard_size = shard_size
         self.workers = workers
         self.latency_fn = latency_fn
+        #: When set (and a ``latency_fn`` is active), shots with no defects
+        #: contribute this constant to the histogram — the timing model's
+        #: floor — so latency statistics cover every shot (see
+        #: :func:`modelled_trivial_latency_seconds`).  ``None`` keeps the
+        #: original decoded-shots-only semantics.
+        self.trivial_latency_seconds = trivial_latency_seconds
         self.config = config
         if isinstance(decoder, str):
             spec = decoder_spec(decoder)  # fail fast on unknown names
@@ -366,15 +439,19 @@ class MonteCarloEngine:
     ) -> ShardResult:
         graph = self.graph
         errors = 0
+        defects = 0
         counters: Counter = Counter()
         histogram = LatencyHistogram() if self.latency_fn is not None else None
         outcome_iter = iter(outcomes)
         for syndrome in syndromes:
             if syndrome.logical_flip is None:
                 raise ValueError("sampled syndrome lacks ground truth")
+            defects += syndrome.defect_count
             if not syndrome.defects:
                 if syndrome.logical_flip:
                     errors += 1
+                if histogram is not None and self.trivial_latency_seconds is not None:
+                    histogram.add(self.trivial_latency_seconds)
                 continue
             outcome = next(outcome_iter)
             correction = outcome.correction_edges(graph)
@@ -390,6 +467,7 @@ class MonteCarloEngine:
             decoded_shots=len(outcomes),
             counters=counters,
             histogram=histogram,
+            defects=defects,
         )
 
     # ------------------------------------------------------------------
@@ -443,6 +521,7 @@ class MonteCarloEngine:
                     result.shards.append(shard)
                     result.shots += shard.shots
                     result.errors += shard.errors
+                    result.defects += shard.defects
                     result.counters.update(shard.counters)
                     if merged_histogram is not None and shard.histogram is not None:
                         merged_histogram.merge(shard.histogram)

@@ -25,23 +25,18 @@ from ..api.config import MicroBlossomConfig, ParityBlossomConfig
 from ..api.protocol import Decoder
 from ..api.session import DecoderSession
 from ..graphs.decoding_graph import DecodingGraph
-from ..graphs.noise import circuit_level_noise, noise_model_by_name
+from ..graphs.noise import noise_model_by_name
 from ..graphs.surface_code import surface_code_decoding_graph
 from ..graphs.syndrome import Syndrome, SyndromeSampler, is_logical_error
 from ..latency.cutoff import LatencyStatistics, cutoff_latency, exponential_tail_fit
 from ..latency.effective import EffectiveErrorRate
 from ..latency.model import (
-    MEASUREMENT_ROUND_SECONDS,
     HeliosLatencyModel,
     MicroBlossomLatencyModel,
     ParityBlossomLatencyModel,
 )
 from ..resources.estimate import paper_row, resource_table
-from .monte_carlo import (
-    estimate_logical_error_rate,
-    expected_defect_count,
-    is_decoder_logical_error,
-)
+from .monte_carlo import expected_defect_count
 from .scaling import (
     DEFAULT_MWPM_SCALING,
     DEFAULT_UNION_FIND_TREND,
@@ -187,34 +182,41 @@ def latency_sweep(
     error_rates: Sequence[float] = (0.0005, 0.001, 0.005),
     samples: int = 20,
     seed: int = 1,
+    workers: int = 1,
+    store=None,
 ) -> list[dict]:
-    """Average decoding latency of Parity Blossom and Micro Blossom."""
+    """Average decoding latency of Parity Blossom and Micro Blossom.
+
+    Runs as a declarative :class:`repro.sweeps.SweepSpec` on the sharded
+    Monte-Carlo engine: each ``(d, p, decoder)`` cell is a seed-stable sweep
+    point, trivial shots contribute the timing model's floor latency, and an
+    optional ``store`` (a :class:`repro.sweeps.ResultStore`) makes repeated
+    or interrupted grids resume instead of recompute.
+    """
+    from ..sweeps import make_spec, run_sweep
+
+    spec = make_spec(
+        "figure9-latency",
+        distances,
+        error_rates,
+        ("parity-blossom", "micro-blossom"),
+        samples,
+        seed=seed,
+        collect_latency=True,
+    )
+    run = run_sweep(spec, store, workers=workers)
     rows: list[dict] = []
-    for distance in distances:
-        for physical_error_rate in error_rates:
-            graph = build_graph(distance, physical_error_rate)
-            parity_samples = _sample_parity(graph, samples, seed)
-            micro_samples = _sample_micro(graph, distance, samples, seed)
-            rows.append(
-                {
-                    "decoder": "parity-blossom",
-                    "distance": distance,
-                    "physical_error_rate": physical_error_rate,
-                    "mean_latency_us": _mean(s.latency_seconds for s in parity_samples)
-                    * 1e6,
-                    "mean_defects": _mean(s.defect_count for s in parity_samples),
-                }
-            )
-            rows.append(
-                {
-                    "decoder": "micro-blossom",
-                    "distance": distance,
-                    "physical_error_rate": physical_error_rate,
-                    "mean_latency_us": _mean(s.latency_seconds for s in micro_samples)
-                    * 1e6,
-                    "mean_defects": _mean(s.defect_count for s in micro_samples),
-                }
-            )
+    for result in run.results:
+        point = result.point
+        rows.append(
+            {
+                "decoder": point.decoder,
+                "distance": point.distance,
+                "physical_error_rate": point.physical_error_rate,
+                "mean_latency_us": result.latency.mean_seconds * 1e6,
+                "mean_defects": result.mean_defects,
+            }
+        )
     return rows
 
 
@@ -341,27 +343,44 @@ def stream_vs_batch(
 def calibrate_scalings(
     calibration_samples: int = 400,
     seed: int = 5,
+    store=None,
+    workers: int = 1,
 ) -> tuple:
     """Fit the logical-error scaling law and the Union-Find accuracy penalty.
 
     Calibration runs Monte Carlo at small distances and moderate error rates
     where logical errors are observable; if too few errors are seen the
-    documented defaults are used instead.
+    documented defaults are used instead.  The grid runs as a
+    :class:`repro.sweeps.SweepSpec`; pass a :class:`repro.sweeps.ResultStore`
+    to cache the (expensive) calibration points across calls, and ``workers``
+    to fan out decoding.  Zero-failure points never enter the fits — their
+    estimate is degenerate (see ``LogicalErrorRateResult.upper_bound``).
     """
+    from ..sweeps import make_spec, run_sweep
+
+    spec = make_spec(
+        "scaling-calibration",
+        (3, 5),
+        (0.02, 0.03),
+        ("reference", "union-find"),
+        calibration_samples,
+        seed=seed,
+    )
+    run = run_sweep(spec, store, workers=workers)
+    by_cell = {
+        (r.point.distance, r.point.physical_error_rate, r.point.decoder): r
+        for r in run.results
+    }
     scaling_points: list[tuple[int, float, float]] = []
     ratio_points: list[tuple[int, float]] = []
-    for distance, physical in ((3, 0.02), (3, 0.03), (5, 0.02), (5, 0.03)):
-        graph = build_graph(distance, physical)
-        mwpm = estimate_logical_error_rate(
-            graph, "reference", calibration_samples, seed=seed + distance
-        )
-        uf = estimate_logical_error_rate(
-            graph, "union-find", calibration_samples, seed=seed + distance
-        )
-        if mwpm.errors:
-            scaling_points.append((distance, physical, mwpm.rate))
-            if uf.errors:
-                ratio_points.append((distance, uf.rate / mwpm.rate))
+    for distance in spec.distances:
+        for physical in spec.physical_error_rates:
+            mwpm = by_cell[(distance, physical, "reference")]
+            uf = by_cell[(distance, physical, "union-find")]
+            if mwpm.errors:
+                scaling_points.append((distance, physical, mwpm.rate))
+                if uf.errors:
+                    ratio_points.append((distance, uf.rate / mwpm.rate))
     try:
         scaling = fit_logical_error_scaling(scaling_points)
         if not 0.001 < scaling.threshold < 0.2:
@@ -382,16 +401,22 @@ def effective_error_grid(
     error_rates: Sequence[float] = (0.0001, 0.0005, 0.001, 0.005),
     calibration_samples: int = 0,
     seed: int = 6,
+    store=None,
+    workers: int = 1,
 ) -> list[dict]:
     """Additional logical error ratio (p_eff / p_MWPM − 1) for three decoders.
 
     ``calibration_samples > 0`` triggers a Monte-Carlo calibration of the
-    scaling laws; otherwise the documented defaults are used (fast path for
-    benchmarks).  Latencies use the analytic average-latency models, which is
-    exact enough because Figure 11 only depends on average latency (§8.3).
+    scaling laws (resumable through ``store``, parallel over ``workers`` —
+    see :func:`calibrate_scalings`); otherwise the documented defaults are
+    used (fast path for benchmarks).  Latencies use the analytic
+    average-latency models, which is exact enough because Figure 11 only
+    depends on average latency (§8.3).
     """
     if calibration_samples:
-        scaling, uf_trend = calibrate_scalings(calibration_samples, seed)
+        scaling, uf_trend = calibrate_scalings(
+            calibration_samples, seed, store=store, workers=workers
+        )
     else:
         scaling, uf_trend = DEFAULT_MWPM_SCALING, DEFAULT_UNION_FIND_TREND
     helios_model = HeliosLatencyModel()

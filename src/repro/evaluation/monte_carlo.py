@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 from ..api.batch import decode_batch
 from ..api.config import DecoderConfig
@@ -15,7 +15,12 @@ from ..graphs.syndrome import (
     Syndrome,
     SyndromeSampler,
 )
-from .engine import DEFAULT_SHARD_SIZE, MonteCarloEngine
+from .engine import (
+    DEFAULT_SHARD_SIZE,
+    MonteCarloEngine,
+    binomial_standard_error,
+    rule_of_three_upper_bound,
+)
 
 
 @dataclass(frozen=True)
@@ -31,10 +36,21 @@ class LogicalErrorRateResult:
 
     @property
     def standard_error(self) -> float:
-        if self.samples == 0:
-            return 0.0
-        rate = self.rate
-        return math.sqrt(max(rate * (1.0 - rate), 1e-300) / self.samples)
+        return binomial_standard_error(self.errors, self.samples)
+
+    @property
+    def zero_failures(self) -> bool:
+        return self.errors == 0
+
+    @property
+    def upper_bound(self) -> float:
+        """One-sided 95% upper bound on the rate.
+
+        Zero-failure estimates are degenerate (``0 ± 0``); the rule of three
+        bounds them at ``3 / samples`` so reports and threshold fits never
+        mistake "no errors observed" for "no errors possible".
+        """
+        return rule_of_three_upper_bound(self.errors, self.samples)
 
 
 @dataclass

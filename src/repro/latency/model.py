@@ -104,7 +104,12 @@ class AcceleratorTimingModel:
 class MicroBlossomLatencyModel:
     """End-to-end decoding latency of the Micro Blossom architecture."""
 
-    def __init__(self, distance: int, num_edges: int, timing: AcceleratorTimingModel | None = None) -> None:
+    def __init__(
+        self,
+        distance: int,
+        num_edges: int,
+        timing: AcceleratorTimingModel | None = None,
+    ) -> None:
         self.distance = distance
         self.num_edges = num_edges
         self.timing = timing or AcceleratorTimingModel(distance=distance)

@@ -1,0 +1,249 @@
+"""``BENCH_sweep.json`` — the machine-readable performance trajectory.
+
+CI's ``perf-trajectory`` job runs the pinned smoke sweep on every push and
+publishes one JSON document per commit: logical error rate ± SE per point
+(zero-failure points as rule-of-three upper bounds), decode throughput in
+shots/sec, and latency-histogram summaries.  Consecutive artifacts form the
+repo's performance trajectory — a regression on a hot path shows up as a
+drop in ``shots_per_second`` (or a shift in ``latency.p99_us``) between two
+commits at identical, seed-pinned work.
+
+:func:`validate_bench` is the schema gate; the CLI's ``sweep export-bench``
+validates before writing and CI fails on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..evaluation.scaling import fit_logical_error_scaling
+from .fits import scaling_points
+from .runner import SweepRunResult
+from .store import PointResult
+
+#: Version of the BENCH document layout; bump on breaking changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+class BenchSchemaError(ValueError):
+    """Raised when a BENCH document violates the published schema."""
+
+
+def current_commit() -> str:
+    """The commit the benchmark ran at: ``$GITHUB_SHA``, git, or ``unknown``."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def _point_entry(result: PointResult) -> dict:
+    point = result.point
+    latency = None
+    if result.latency is not None:
+        latency = {
+            "count": result.latency.count,
+            "mean_us": result.latency.mean_seconds * 1e6,
+            "p50_us": result.latency.p50_seconds * 1e6,
+            "p99_us": result.latency.p99_seconds * 1e6,
+            "min_us": result.latency.min_seconds * 1e6,
+            "max_us": result.latency.max_seconds * 1e6,
+        }
+    return {
+        "distance": point.distance,
+        "noise": point.noise,
+        "physical_error_rate": point.physical_error_rate,
+        "decoder": point.decoder,
+        "seed": point.seed,
+        "shots": result.shots,
+        "errors": result.errors,
+        "logical_error_rate": result.rate,
+        "standard_error": result.standard_error,
+        "error_rate_upper_bound": result.upper_bound,
+        "zero_failures": result.zero_failures,
+        "stopped_early": result.stopped_early,
+        "shots_per_second": result.shots_per_second,
+        "elapsed_seconds": result.elapsed_seconds,
+        "latency": latency,
+    }
+
+
+def bench_document(
+    run: SweepRunResult,
+    *,
+    commit: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Build the BENCH document for one sweep run (validated by the caller)."""
+    spec = run.spec
+    fits: dict[str, dict | None] = {}
+    for noise in spec.noise_models:
+        for decoder in spec.decoders:
+            slice_key = f"{noise}/{decoder}"
+            usable = scaling_points(run.results, noise=noise, decoder=decoder)
+            try:
+                scaling = fit_logical_error_scaling(usable)
+                fits[slice_key] = {
+                    "amplitude": scaling.amplitude,
+                    "threshold": scaling.threshold,
+                    "points_used": len(usable),
+                }
+            except ValueError:
+                fits[slice_key] = None
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "commit": commit if commit is not None else current_commit(),
+        "timestamp": timestamp
+        if timestamp is not None
+        else datetime.now(timezone.utc).isoformat(),
+        "spec": {"hash": run.spec_hash, **spec.to_dict()},
+        "points": [_point_entry(result) for result in run.results],
+        "fits": fits,
+    }
+
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def _check_number(value, path: str, low: float | None = None, high: float | None = None):
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{path}: expected a number, got {type(value).__name__}",
+    )
+    if low is not None:
+        _require(value >= low, f"{path}: {value} < {low}")
+    if high is not None:
+        _require(value <= high, f"{path}: {value} > {high}")
+
+
+_LATENCY_KEYS = ("count", "mean_us", "p50_us", "p99_us", "min_us", "max_us")
+_POINT_REQUIRED = (
+    "distance",
+    "noise",
+    "physical_error_rate",
+    "decoder",
+    "seed",
+    "shots",
+    "errors",
+    "logical_error_rate",
+    "standard_error",
+    "error_rate_upper_bound",
+    "zero_failures",
+    "stopped_early",
+    "shots_per_second",
+    "elapsed_seconds",
+    "latency",
+)
+
+
+def validate_bench(document: dict) -> None:
+    """Validate a BENCH document; raises :class:`BenchSchemaError` on violation."""
+    _require(isinstance(document, dict), "document must be a JSON object")
+    for key in ("schema_version", "commit", "timestamp", "spec", "points", "fits"):
+        _require(key in document, f"missing top-level key {key!r}")
+    _require(
+        document["schema_version"] == BENCH_SCHEMA_VERSION,
+        f"schema_version {document['schema_version']!r} != {BENCH_SCHEMA_VERSION}",
+    )
+    _require(
+        isinstance(document["commit"], str) and document["commit"],
+        "commit must be a non-empty string",
+    )
+    _require(
+        isinstance(document["timestamp"], str) and document["timestamp"],
+        "timestamp must be a non-empty string",
+    )
+    spec = document["spec"]
+    _require(isinstance(spec, dict), "spec must be an object")
+    for key in ("hash", "name", "distances", "physical_error_rates", "decoders", "shots"):
+        _require(key in spec, f"spec: missing key {key!r}")
+    points = document["points"]
+    _require(isinstance(points, list) and points, "points must be a non-empty array")
+    for index, point in enumerate(points):
+        path = f"points[{index}]"
+        _require(isinstance(point, dict), f"{path}: expected an object")
+        for key in _POINT_REQUIRED:
+            _require(key in point, f"{path}: missing key {key!r}")
+        _check_number(point["distance"], f"{path}.distance", low=3)
+        _require(isinstance(point["noise"], str), f"{path}.noise must be a string")
+        _require(isinstance(point["decoder"], str), f"{path}.decoder must be a string")
+        _check_number(
+            point["physical_error_rate"], f"{path}.physical_error_rate", 0.0, 1.0
+        )
+        _check_number(point["seed"], f"{path}.seed", low=0)
+        _check_number(point["shots"], f"{path}.shots", low=1)
+        _check_number(point["errors"], f"{path}.errors", 0, point["shots"])
+        _check_number(point["logical_error_rate"], f"{path}.logical_error_rate", 0.0, 1.0)
+        _check_number(point["standard_error"], f"{path}.standard_error", low=0.0)
+        _check_number(
+            point["error_rate_upper_bound"], f"{path}.error_rate_upper_bound", 0.0, 1.0
+        )
+        _require(
+            isinstance(point["zero_failures"], bool),
+            f"{path}.zero_failures must be a boolean",
+        )
+        _require(
+            point["zero_failures"] == (point["errors"] == 0),
+            f"{path}.zero_failures inconsistent with errors",
+        )
+        _require(
+            not point["zero_failures"] or point["error_rate_upper_bound"] > 0,
+            f"{path}: zero-failure point must carry a positive upper bound",
+        )
+        _require(
+            isinstance(point["stopped_early"], bool),
+            f"{path}.stopped_early must be a boolean",
+        )
+        _check_number(point["shots_per_second"], f"{path}.shots_per_second", low=0.0)
+        _check_number(point["elapsed_seconds"], f"{path}.elapsed_seconds", low=0.0)
+        latency = point["latency"]
+        if latency is not None:
+            _require(isinstance(latency, dict), f"{path}.latency must be object|null")
+            for key in _LATENCY_KEYS:
+                _require(key in latency, f"{path}.latency: missing key {key!r}")
+                _check_number(latency[key], f"{path}.latency.{key}", low=0.0)
+    fits = document["fits"]
+    _require(isinstance(fits, dict), "fits must be an object")
+    for slice_key, fit in fits.items():
+        if fit is None:
+            continue
+        path = f"fits[{slice_key!r}]"
+        _require(isinstance(fit, dict), f"{path}: expected object|null")
+        for key in ("amplitude", "threshold", "points_used"):
+            _require(key in fit, f"{path}: missing key {key!r}")
+        _check_number(fit["amplitude"], f"{path}.amplitude", low=0.0)
+        _check_number(fit["threshold"], f"{path}.threshold", 0.0, 1.0)
+        _check_number(fit["points_used"], f"{path}.points_used", low=2)
+
+
+def write_bench(document: dict, path: str | Path) -> Path:
+    """Validate and write the BENCH document (atomic via temp + rename)."""
+    validate_bench(document)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    tmp_path.replace(path)
+    return path

@@ -1,0 +1,162 @@
+"""Resumable execution of a :class:`~repro.sweeps.spec.SweepSpec`.
+
+``run_sweep`` walks the spec's expansion in order; a point already present in
+the :class:`~repro.sweeps.store.ResultStore` is returned as a cache hit
+without re-running, everything else runs on the sharded
+:class:`~repro.evaluation.engine.MonteCarloEngine` and is appended to the
+store the moment it completes.  Interrupting a sweep at any point boundary
+therefore loses at most the point in flight, and a subsequent run (or
+``repro sweep resume``) continues exactly where it stopped: because every
+point's seed is a pure function of the spec seed and the point's parameters,
+and the engine's results are independent of the worker count, the resumed
+store is bit-identical to an uninterrupted run (see
+``ResultStore.fingerprint``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..api.registry import decoder_spec
+from ..evaluation.engine import (
+    DECODERS_WITH_TIMING_MODELS,
+    EngineResult,
+    MonteCarloEngine,
+    modelled_latency_fn,
+    modelled_trivial_latency_seconds,
+)
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.noise import noise_model_by_name
+from ..graphs.surface_code import surface_code_decoding_graph
+from .spec import SweepPoint, SweepSpec
+from .store import LatencySummary, PointResult, ResultStore
+
+#: Called after every completed (or cache-hit) point; raising from the
+#: callback aborts the sweep at a point boundary — the store stays valid.
+ProgressFn = Callable[[SweepPoint, PointResult], None]
+
+
+@dataclass
+class SweepRunResult:
+    """Outcome of one ``run_sweep`` invocation."""
+
+    spec: SweepSpec
+    spec_hash: str
+    results: list[PointResult] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Points actually run by this invocation."""
+        return sum(1 for result in self.results if not result.cached)
+
+    @property
+    def cached(self) -> int:
+        """Points served from the store without re-running."""
+        return sum(1 for result in self.results if result.cached)
+
+
+def build_point_graph(point: SweepPoint) -> DecodingGraph:
+    """The decoding graph of one sweep point."""
+    model = noise_model_by_name(point.noise, point.physical_error_rate)
+    return surface_code_decoding_graph(point.distance, model)
+
+
+def _point_result(
+    point: SweepPoint, engine_result: EngineResult, elapsed_seconds: float
+) -> PointResult:
+    histogram = engine_result.histogram
+    return PointResult(
+        point=point,
+        shots=engine_result.shots,
+        errors=engine_result.errors,
+        decoded_shots=engine_result.decoded_shots,
+        defects=engine_result.defects,
+        stopped_early=engine_result.stopped_early,
+        latency=LatencySummary.from_histogram(histogram) if histogram else None,
+        elapsed_seconds=elapsed_seconds,
+    )
+
+
+def run_point(
+    point: SweepPoint,
+    *,
+    workers: int = 1,
+    clock: Callable[[], float] = time.perf_counter,
+) -> PointResult:
+    """Run one sweep point on the Monte-Carlo engine (no store involved)."""
+    graph = build_point_graph(point)
+    latency_fn = None
+    trivial_latency = None
+    if point.collect_latency:
+        latency_fn = modelled_latency_fn(point.decoder, graph)
+        trivial_latency = modelled_trivial_latency_seconds(point.decoder, graph)
+    engine = MonteCarloEngine(
+        graph,
+        point.decoder,
+        shard_size=point.shard_size,
+        workers=workers,
+        latency_fn=latency_fn,
+        trivial_latency_seconds=trivial_latency,
+    )
+    started = clock()
+    engine_result = engine.run(
+        point.shots,
+        seed=point.seed,
+        target_standard_error=point.target_standard_error,
+    )
+    return _point_result(point, engine_result, clock() - started)
+
+
+def validate_spec_axes(spec: SweepSpec) -> None:
+    """Fail fast on unknown decoder or noise-model names (before any run)."""
+    for decoder in spec.decoders:
+        decoder_spec(decoder)
+    for noise in spec.noise_models:
+        noise_model_by_name(noise, 0.001)
+    if spec.collect_latency:
+        for decoder in spec.decoders:
+            _require_latency_model(decoder)
+
+
+def _require_latency_model(decoder: str) -> None:
+    if decoder not in DECODERS_WITH_TIMING_MODELS:
+        raise ValueError(
+            f"decoder {decoder!r} has no published timing model; "
+            "disable collect_latency or drop it from the sweep"
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: ResultStore | None = None,
+    *,
+    workers: int = 1,
+    progress: ProgressFn | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> SweepRunResult:
+    """Run (or resume) every point of ``spec``, caching through ``store``.
+
+    ``store=None`` uses a throwaway in-memory store (no resumability, same
+    code path).  ``clock`` is injectable so tests can pin wall-clock timing
+    and assert byte-identical store files.
+    """
+    if store is None:
+        store = ResultStore(None)
+    validate_spec_axes(spec)
+    spec_hash = store.ensure_spec(spec)
+    run = SweepRunResult(spec=spec, spec_hash=spec_hash)
+    for point in spec.expand():
+        cached = store.get(spec_hash, point)
+        if cached is not None:
+            run.results.append(cached)
+            if progress is not None:
+                progress(point, cached)
+            continue
+        result = run_point(point, workers=workers, clock=clock)
+        store.put(spec_hash, result)
+        run.results.append(result)
+        if progress is not None:
+            progress(point, result)
+    return run

@@ -15,7 +15,6 @@ from repro.graphs import (
     SyndromeSampler,
     circuit_level_noise,
     code_capacity_noise,
-    phenomenological_noise,
     repetition_code_decoding_graph,
     surface_code_decoding_graph,
 )

@@ -124,6 +124,26 @@ class TestOtherCommands:
         assert "latency_us" in output
         assert "p99=" in output
 
+    def test_accuracy_zero_failures_reports_rule_of_three_bound(self, capsys):
+        exit_code = main(
+            [
+                "accuracy",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.0001",
+                "--samples",
+                "50",
+                "--decoder",
+                "reference",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "errors=0" in output
+        assert "logical_error_rate<=" in output
+        assert "rule of three" in output
+
     def test_latency_rejects_decoder_without_model(self):
         with pytest.raises(SystemExit):
             main(["latency", "--decoder", "reference"])
@@ -135,3 +155,145 @@ class TestOtherCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCommand:
+    RUN_ARGS = [
+        "sweep",
+        "run",
+        "--distances",
+        "3",
+        "--error-rates",
+        "0.04",
+        "--decoders",
+        "reference,union-find",
+        "--shots",
+        "48",
+        "--shard-size",
+        "16",
+        "--seed",
+        "9",
+    ]
+
+    def _store(self, tmp_path):
+        return str(tmp_path / "store.jsonl")
+
+    def test_run_then_resume_hits_the_cache(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(self.RUN_ARGS + ["--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "2 run, 0 cached" in output
+        assert main(["sweep", "resume", "--store", store]) == 0
+        assert "0 run, 2 cached" in capsys.readouterr().out
+
+    def test_resume_without_a_store_file_fails(self, tmp_path, capsys):
+        assert main(["sweep", "resume", "--store", self._store(tmp_path)]) == 2
+        assert "no sweep spec" in capsys.readouterr().err
+
+    def test_report_tabulates_stored_points(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        main(self.RUN_ARGS + ["--store", store])
+        capsys.readouterr()
+        assert main(["sweep", "report", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "logical_error_rate" in output
+        assert "upper_bound" in output
+
+    def test_report_on_empty_store_fails(self, tmp_path, capsys):
+        assert main(["sweep", "report", "--store", self._store(tmp_path)]) == 2
+        assert "no results" in capsys.readouterr().err
+
+    def test_corrupt_store_reports_cleanly(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        store.write_text("garbage that is not json\n")
+        assert main(["sweep", "report", "--store", str(store)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_latency_sweep_report_shows_latency_column(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "--distances",
+                    "3",
+                    "--error-rates",
+                    "0.04",
+                    "--decoders",
+                    "union-find",
+                    "--shots",
+                    "48",
+                    "--latency",
+                    "--store",
+                    store,
+                ]
+            )
+            == 0
+        )
+        assert "latency_p99_us" in capsys.readouterr().out
+
+    def test_export_bench_writes_schema_valid_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.sweeps import validate_bench
+
+        store = self._store(tmp_path)
+        main(self.RUN_ARGS + ["--store", store])
+        bench_path = tmp_path / "BENCH_sweep.json"
+        assert main(
+            ["sweep", "export-bench", "--store", store, "--output", str(bench_path)]
+        ) == 0
+        document = json.loads(bench_path.read_text())
+        validate_bench(document)
+        assert len(document["points"]) == 2
+
+    def test_export_bench_without_spec_fails(self, tmp_path, capsys):
+        assert (
+            main(["sweep", "export-bench", "--store", self._store(tmp_path)]) == 2
+        )
+
+    def test_run_accepts_a_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "from-file",
+                    "distances": [3],
+                    "physical_error_rates": [0.04],
+                    "decoders": ["union-find"],
+                    "shots": 32,
+                    "seed": 4,
+                    "shard_size": 16,
+                }
+            )
+        )
+        store = self._store(tmp_path)
+        assert main(["sweep", "run", "--spec", str(spec_path), "--store", store]) == 0
+        assert "'from-file'" in capsys.readouterr().out
+
+    def test_zero_failure_point_reported_as_bound(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "--distances",
+                    "3",
+                    "--error-rates",
+                    "0.0001",
+                    "--decoders",
+                    "reference",
+                    "--shots",
+                    "40",
+                    "--store",
+                    store,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "<=" in output  # rule-of-three upper bound, not 0 +/- 0

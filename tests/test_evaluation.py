@@ -70,6 +70,18 @@ class TestMonteCarlo:
         with pytest.raises(ValueError):
             wilson_interval(1, 0)
 
+    def test_zero_failure_estimate_surfaces_rule_of_three_bound(self):
+        from repro.evaluation import LogicalErrorRateResult
+
+        degenerate = LogicalErrorRateResult(samples=300, errors=0)
+        assert degenerate.zero_failures
+        assert degenerate.rate == 0.0
+        assert degenerate.standard_error == pytest.approx(0.0, abs=1e-10)
+        assert degenerate.upper_bound == pytest.approx(0.01)
+        observed = LogicalErrorRateResult(samples=300, errors=6)
+        assert not observed.zero_failures
+        assert observed.upper_bound > observed.rate
+
     def test_explicit_sampler_honors_workers(self):
         graph = build_graph(3, 0.03)
         sequential = estimate_logical_error_rate(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import DualPhaseError, GROW, HOLD, MicroBlossomAccelerator, PrimalModule
+from repro.core import DualPhaseError, HOLD, MicroBlossomAccelerator, PrimalModule
 from repro.core.dual import DualGraphState
 from repro.graphs import BOUNDARY, GraphBuilder
 

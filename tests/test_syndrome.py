@@ -115,7 +115,11 @@ class TestMatchingResult:
 class TestEvaluation:
     def test_correction_annihilates_defects(self, surface_d3_circuit, sampler_d3):
         graph = surface_d3_circuit
-        edge = next(e for e in graph.edges if not graph.is_virtual(e.u) and not graph.is_virtual(e.v))
+        edge = next(
+            e
+            for e in graph.edges
+            if not graph.is_virtual(e.u) and not graph.is_virtual(e.v)
+        )
         syndrome = sampler_d3.syndrome_from_errors([edge.index])
         result = MatchingResult(pairs=[(edge.u, edge.v)])
         correction = correction_edges(graph, result)
@@ -123,7 +127,11 @@ class TestEvaluation:
 
     def test_correct_matching_avoids_logical_error(self, surface_d3_circuit, sampler_d3):
         graph = surface_d3_circuit
-        edge = next(e for e in graph.edges if not graph.is_virtual(e.u) and not graph.is_virtual(e.v))
+        edge = next(
+            e
+            for e in graph.edges
+            if not graph.is_virtual(e.u) and not graph.is_virtual(e.v)
+        )
         syndrome = sampler_d3.syndrome_from_errors([edge.index])
         result = MatchingResult(pairs=[(edge.u, edge.v)])
         assert is_logical_error(graph, syndrome, result) is False
