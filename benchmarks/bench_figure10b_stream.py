@@ -1,9 +1,12 @@
-"""Benchmark regenerating Figure 10b: batch vs stream decoding latency.
+"""Benchmark regenerating Figure 10b: batch vs stream reaction latency.
 
-With round-wise fusion the decoder only has a constant amount of work left
-when the final measurement round arrives, so the decoding latency stays flat
-as the number of measurement rounds grows, while batch decoding grows roughly
-linearly (the paper reports 1.6x–2.5x at d = 9).
+Both series run on the continuous-stream ``repro.evaluation.StreamEngine``
+(rounds pushed one at a time through the ``StreamingDecoder`` protocol): with
+round-wise fusion the decoder only has a constant amount of work left when
+the final measurement round arrives, so the reaction latency stays flat as
+the number of measurement rounds grows, while the batch baseline — replayed
+through the sliding-window adapter — grows roughly linearly (the paper
+reports 1.6x–2.5x at d = 9).
 """
 
 from __future__ import annotations

@@ -2,14 +2,21 @@
 """Stream decoding with round-wise fusion (paper §6, Figure 10b).
 
 Syndrome data arrives one measurement round at a time (about every 1 µs on
-superconducting hardware).  Instead of waiting for all rounds, Micro Blossom
-fuses each round into the running solution as soon as it arrives, so the work
-left after the *final* round — which is what determines the decoding latency —
-stays constant no matter how many rounds the logical operation takes.
+superconducting hardware).  Instead of waiting for all rounds, a streaming
+decoder fuses each round into the running solution as soon as it arrives, so
+the work left after the *final* round — which is what determines the decoding
+latency — stays constant no matter how many rounds the logical operation
+takes.
 
-This example decodes the same syndromes in batch mode and in stream mode for a
-growing number of measurement rounds and prints the latency of each, showing
-the batch latency growing while the stream latency stays flat.
+This example tours the streaming subsystem (see docs/streaming.md):
+
+1. one syndrome pushed round by round through the ``StreamingDecoder``
+   protocol (``begin`` → ``push_round`` → ``finalize``), showing the
+   per-round cost and verifying the streamed outcome equals the batch decode;
+2. the same stream through the ``SlidingWindowAdapter``, which lifts a batch
+   backend (union-find here) onto the protocol;
+3. the ``StreamEngine`` comparing reaction latency of native streaming
+   against the batch baseline for a growing number of rounds (Figure 10b).
 
 Run::
 
@@ -21,13 +28,18 @@ from __future__ import annotations
 import argparse
 
 from repro.api import get_decoder
-from repro.evaluation import format_rows, stream_vs_batch
-from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
-from repro.latency import MicroBlossomLatencyModel
+from repro.evaluation import format_rows, stream_latency_fn, stream_vs_batch
+from repro.graphs import (
+    SyndromeSampler,
+    circuit_level_noise,
+    residual_defects,
+    surface_code_decoding_graph,
+)
+from repro.stream import get_streaming_decoder
 
 
-def show_single_stream_decode(distance: int, error_rate: float, seed: int) -> None:
-    """Decode one syndrome round by round, printing the per-round progress."""
+def show_round_push_protocol(distance: int, error_rate: float, seed: int) -> None:
+    """Push one syndrome round by round, printing what each round cost."""
     graph = surface_code_decoding_graph(distance, circuit_level_noise(error_rate))
     sampler = SyndromeSampler(graph, seed=seed)
     syndrome = next(
@@ -37,20 +49,36 @@ def show_single_stream_decode(distance: int, error_rate: float, seed: int) -> No
     if syndrome is None:
         raise SystemExit("no multi-defect shot in 3200 samples; raise the error rate")
     print(f"decoding a syndrome with {syndrome.defect_count} defects round by round:")
-    decoder = get_decoder("micro-blossom", graph)
-    outcome = decoder.decode_detailed(syndrome)
-    per_layer = {}
-    for defect in syndrome.defects:
-        layer = graph.vertices[defect].layer
-        per_layer[layer] = per_layer.get(layer, 0) + 1
-    for layer in range(graph.num_layers):
-        print(f"  round {layer}: {per_layer.get(layer, 0)} new defect(s)")
-    model = MicroBlossomLatencyModel(distance, graph.num_edges)
-    total_latency = model.latency_seconds(outcome.counters)
-    final_latency = model.latency_seconds(outcome.post_final_round_counters)
-    print(f"  total work if done in one batch : {total_latency * 1e6:.2f} µs")
+    latency_of = stream_latency_fn("micro-blossom", graph)
+    session = get_streaming_decoder("micro-blossom", graph)
+    session.begin(graph, rounds_hint=graph.num_layers)
+    for layer, round_defects in enumerate(syndrome.defects_by_layer(graph)):
+        work = session.push_round(round_defects)
+        print(
+            f"  round {layer}: {len(round_defects)} new defect(s), "
+            f"fused in {latency_of(work) * 1e6:.2f} µs"
+        )
+    outcome = session.finalize()
+    final_latency = latency_of(outcome.post_final_round_counters)
     print(f"  work left after the final round : {final_latency * 1e6:.2f} µs")
-    print(f"  matching weight: {outcome.result.weight}\n")
+    print(f"  matching weight: {outcome.result.weight}")
+
+    batch = get_decoder("micro-blossom", graph).decode_detailed(syndrome)
+    assert outcome.correction_edges(graph) == batch.correction_edges(graph)
+    assert outcome.result.weight == batch.result.weight
+    print("  streamed outcome == batch outcome ✔\n")
+
+    # Any batch backend streams through the sliding-window adapter.
+    adapter = get_streaming_decoder("union-find", graph, window=2)
+    adapter.begin(graph)
+    for round_defects in syndrome.defects_by_layer(graph):
+        adapter.push_round(round_defects)
+    windowed = adapter.finalize()
+    assert residual_defects(graph, syndrome, windowed.correction_edges(graph)) == ()
+    print(
+        f"  union-find through a window-2 adapter: correction annihilates all "
+        f"defects, {windowed.committed_pairs} pair(s) committed mid-stream\n"
+    )
 
 
 def main() -> None:
@@ -63,9 +91,9 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"== Round-wise fusion demo (d={args.distance}, p={args.error_rate}) ==\n")
-    show_single_stream_decode(args.distance, args.error_rate, args.seed)
+    show_round_push_protocol(args.distance, args.error_rate, args.seed)
 
-    print("batch vs stream decoding latency (Figure 10b):")
+    print("batch vs stream reaction latency (Figure 10b, via StreamEngine):")
     rows = stream_vs_batch(
         distance=args.distance,
         physical_error_rate=args.error_rate,

@@ -15,10 +15,14 @@ latency.  This package provides:
   decoder baseline (:mod:`repro.unionfind`);
 * latency / resource models and the Monte-Carlo evaluation harness that
   regenerate every table and figure of the paper's evaluation
-  (:mod:`repro.latency`, :mod:`repro.resources`, :mod:`repro.evaluation`).
+  (:mod:`repro.latency`, :mod:`repro.resources`, :mod:`repro.evaluation`);
+* a first-class streaming decode subsystem — the incremental round-push
+  protocol, sliding-window adapters for every backend, and the
+  continuous-stream evaluation engine (:mod:`repro.stream`,
+  :class:`repro.evaluation.StreamEngine`, ``docs/streaming.md``).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import api, graphs
 from .api import (
@@ -30,9 +34,11 @@ from .api import (
     MicroBlossomConfig,
     ParityBlossomConfig,
     ReferenceConfig,
+    StreamingDecoder,
     UnionFindConfig,
     available_decoders,
     decode_batch,
+    decoder_capabilities,
     get_decoder,
     register_decoder,
 )
@@ -72,9 +78,11 @@ __all__ = [
     "MicroBlossomConfig",
     "ParityBlossomConfig",
     "ReferenceConfig",
+    "StreamingDecoder",
     "UnionFindConfig",
     "available_decoders",
     "decode_batch",
+    "decoder_capabilities",
     "get_decoder",
     "register_decoder",
     "MicroBlossomDecoder",

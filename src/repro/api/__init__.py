@@ -25,7 +25,7 @@ Quickstart::
 # imports the decoder packages, because those packages import
 # ``repro.api.outcome`` themselves.
 from .outcome import DecodeOutcome
-from .protocol import Decoder
+from .protocol import Decoder, StreamingDecoder
 from .config import (
     DecoderConfig,
     MicroBlossomConfig,
@@ -34,9 +34,11 @@ from .config import (
     UnionFindConfig,
 )
 from .registry import (
+    DecoderCapabilities,
     DecoderSpec,
     UnknownDecoderError,
     available_decoders,
+    decoder_capabilities,
     decoder_spec,
     get_decoder,
     register_decoder,
@@ -48,6 +50,9 @@ from .batch import BatchOutcome, decode_batch
 __all__ = [
     "DecodeOutcome",
     "Decoder",
+    "StreamingDecoder",
+    "DecoderCapabilities",
+    "decoder_capabilities",
     "DecoderConfig",
     "MicroBlossomConfig",
     "ParityBlossomConfig",

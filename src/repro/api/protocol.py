@@ -9,7 +9,8 @@ user-registered decoders only need to provide the same three methods.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from collections import Counter
+from typing import Iterable, Protocol, runtime_checkable
 
 from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.syndrome import MatchingResult, Syndrome
@@ -41,4 +42,51 @@ class Decoder(Protocol):
 
     def decode_detailed(self, syndrome: Syndrome) -> DecodeOutcome:
         """Return the matching/correction plus all recorded statistics."""
+        ...
+
+
+@runtime_checkable
+class StreamingDecoder(Protocol):
+    """The incremental round-push protocol (paper §6: round-wise fusion).
+
+    A streaming decoder consumes one measurement round at a time instead of a
+    fully-materialised :class:`~repro.graphs.syndrome.Syndrome`:
+
+    1. :meth:`begin` opens a stream (``rounds_hint`` lets backends pre-size
+       state; passing a ``graph`` asserts it is the one the decoder was built
+       for);
+    2. :meth:`push_round` hands over the defects of the next measurement
+       round — the round is decoded *as it arrives*, and the returned
+       operation-count delta is what the round cost (the
+       :class:`~repro.evaluation.StreamEngine` feeds it to the timing models
+       for backlog accounting);
+    3. :meth:`finalize` closes the stream and returns the
+       :class:`~repro.api.outcome.DecodeOutcome` of the whole instance, with
+       a matching weight and correction identical to batch-decoding the same
+       syndrome on the same backend.
+
+    ``micro-blossom`` implements the protocol natively (constant work left
+    after the final round); every batch :class:`Decoder` can be lifted onto it
+    with :class:`repro.stream.SlidingWindowAdapter`.  The registry records
+    which backends stream natively
+    (:attr:`~repro.api.registry.DecoderCapabilities.native_streaming`).
+    """
+
+    #: Stable registry-style identifier of the backend.
+    name: str
+    #: The decoding graph the decoder streams over.
+    graph: DecodingGraph
+
+    def begin(
+        self, graph: DecodingGraph | None = None, rounds_hint: int | None = None
+    ) -> None:
+        """Open a new stream (discarding any stream still in flight)."""
+        ...
+
+    def push_round(self, defects: Iterable[int]) -> Counter:
+        """Feed the defects of the next measurement round; return its cost."""
+        ...
+
+    def finalize(self) -> DecodeOutcome:
+        """Close the stream and return the outcome of the whole instance."""
         ...

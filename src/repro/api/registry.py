@@ -30,6 +30,29 @@ class UnknownDecoderError(KeyError):
 
 
 @dataclass(frozen=True)
+class DecoderCapabilities:
+    """What a registered backend can do, as advertised by the registry.
+
+    The flags drive feature dispatch instead of ``hasattr`` probing:
+    ``native_streaming`` selects the incremental round-push implementation in
+    :func:`repro.stream.get_streaming_decoder` (non-native backends are
+    wrapped in a :class:`repro.stream.SlidingWindowAdapter`), ``timing_model``
+    gates the latency/stream engines and sweeps that need
+    :func:`repro.evaluation.modelled_latency_fn`, and ``exact`` marks
+    backends guaranteed to realise the minimum-weight perfect matching.
+    """
+
+    #: Implements :class:`~repro.api.protocol.StreamingDecoder` itself.
+    native_streaming: bool = False
+    #: Has a published timing model (``repro.latency``).
+    timing_model: bool = False
+    #: Supports aggregate batch decoding (``repro.api.decode_batch``).
+    batch_decode: bool = True
+    #: Guaranteed to produce a minimum-weight perfect matching.
+    exact: bool = False
+
+
+@dataclass(frozen=True)
 class DecoderSpec:
     """One registry entry: how to build a decoder and configure it."""
 
@@ -38,6 +61,7 @@ class DecoderSpec:
     config_cls: type[DecoderConfig]
     description: str = ""
     default_config: DecoderConfig | None = field(default=None)
+    capabilities: DecoderCapabilities = field(default_factory=DecoderCapabilities)
 
     def make_config(self) -> DecoderConfig:
         return self.default_config if self.default_config is not None else self.config_cls()
@@ -53,12 +77,15 @@ def register_decoder(
     description: str = "",
     default_config: DecoderConfig | None = None,
     overwrite: bool = False,
+    capabilities: DecoderCapabilities | None = None,
 ) -> DecoderSpec:
     """Register a decoder backend under a stable string name.
 
     ``factory(graph, config)`` must return an object satisfying the
-    :class:`~repro.api.protocol.Decoder` protocol.  Re-registering an existing
-    name raises ``ValueError`` unless ``overwrite=True``.
+    :class:`~repro.api.protocol.Decoder` protocol.  ``capabilities`` declares
+    what the backend supports (defaults to a plain batch decoder without a
+    timing model).  Re-registering an existing name raises ``ValueError``
+    unless ``overwrite=True``.
     """
     if not name:
         raise ValueError("decoder name must be non-empty")
@@ -72,6 +99,7 @@ def register_decoder(
         config_cls=config_cls,
         description=description,
         default_config=default_config,
+        capabilities=capabilities if capabilities is not None else DecoderCapabilities(),
     )
     _REGISTRY[name] = spec
     return spec
@@ -95,6 +123,11 @@ def decoder_spec(name: str) -> DecoderSpec:
         raise UnknownDecoderError(
             f"unknown decoder {name!r}; available: {', '.join(available_decoders())}"
         ) from None
+
+
+def decoder_capabilities(name: str) -> DecoderCapabilities:
+    """The capability flags of a registered decoder."""
+    return decoder_spec(name).capabilities
 
 
 def get_decoder(
@@ -150,6 +183,9 @@ register_decoder(
     _build_micro_blossom,
     MicroBlossomConfig,
     "Micro Blossom heterogeneous decoder with round-wise fusion (stream mode)",
+    capabilities=DecoderCapabilities(
+        native_streaming=True, timing_model=True, exact=True
+    ),
 )
 register_decoder(
     "micro-blossom-batch",
@@ -157,22 +193,29 @@ register_decoder(
     MicroBlossomConfig,
     "Micro Blossom decoding all measurement rounds at once (batch mode)",
     default_config=MicroBlossomConfig(stream=False),
+    # Deliberately not marked native_streaming: this entry exists to measure
+    # the batch baseline, so the stream factory replays it through the
+    # SlidingWindowAdapter instead of fusing rounds.
+    capabilities=DecoderCapabilities(timing_model=True, exact=True),
 )
 register_decoder(
     "parity-blossom",
     _build_parity_blossom,
     ParityBlossomConfig,
     "Parity Blossom software MWPM baseline (sequential CPU phases)",
+    capabilities=DecoderCapabilities(timing_model=True, exact=True),
 )
 register_decoder(
     "union-find",
     _build_union_find,
     UnionFindConfig,
     "Weighted-growth Union-Find decoder (Helios-class approximation)",
+    capabilities=DecoderCapabilities(timing_model=True),
 )
 register_decoder(
     "reference",
     _build_reference,
     ReferenceConfig,
     "Reference exact MWPM decoder on the dense syndrome graph",
+    capabilities=DecoderCapabilities(exact=True),
 )

@@ -3,19 +3,23 @@
 The CLI exposes the most common workflows without writing any Python:
 
 * ``decode``     — sample and decode syndromes, verifying exactness;
+* ``decoders``   — list registered backends with their capability flags;
 * ``experiment`` — run one of the paper's experiments and print its table;
 * ``resources``  — print the Table 4 resource model;
 * ``accuracy``   — Monte-Carlo logical error rate of a decoder;
 * ``latency``    — Monte-Carlo latency distribution under the timing models;
-* ``sweep``      — declarative, resumable (d × noise × p × decoder) sweeps
-  with an on-disk result store and a ``BENCH_sweep.json`` exporter
-  (``run`` / ``resume`` / ``report`` / ``export-bench``, see
+* ``stream``     — continuous-stream decoding: rounds pushed as they arrive,
+  reaction-latency percentiles and backlog accounting (``docs/streaming.md``);
+* ``sweep``      — declarative, resumable (d × noise × p × decoder ×
+  streaming) sweeps with an on-disk result store and a ``BENCH_sweep.json``
+  exporter (``run`` / ``resume`` / ``report`` / ``export-bench``, see
   ``docs/sweeps.md``).
 
 ``accuracy`` and ``latency`` run on the sharded
-:class:`repro.evaluation.MonteCarloEngine` (see ``docs/evaluation.md``):
-shots are sampled vectorized in seed-stable shards and fanned out over
-``--workers`` processes, with results independent of the worker count.
+:class:`repro.evaluation.MonteCarloEngine`, ``stream`` on the
+:class:`repro.evaluation.StreamEngine` (see ``docs/evaluation.md``): shots
+are sampled in seed-stable shards and fanned out over ``--workers``
+processes, with results independent of the worker count.
 
 Decoders are resolved through the :mod:`repro.api` registry, so every backend
 — including user-registered ones — is driven through the same typed
@@ -28,10 +32,11 @@ import argparse
 import sys
 from typing import Sequence
 
-from .api import available_decoders, get_decoder
+from .api import available_decoders, decoder_spec, get_decoder
 from .evaluation import (
     DECODERS_WITH_TIMING_MODELS,
     MonteCarloEngine,
+    StreamEngine,
     amdahl_profile,
     effective_error_grid,
     estimate_logical_error_rate,
@@ -110,6 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--decoder", choices=available_decoders(), default="micro-blossom"
     )
 
+    subparsers.add_parser(
+        "decoders", help="list registered decoders and their capabilities"
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
     )
@@ -165,6 +174,49 @@ def _build_parser() -> argparse.ArgumentParser:
     latency.add_argument("--workers", type=int, default=1)
     latency.add_argument("--shard-size", type=int, default=256)
 
+    stream = subparsers.add_parser(
+        "stream",
+        help="continuous-stream decoding: reaction latency and backlog "
+        "under round-by-round syndrome arrival",
+    )
+    stream.add_argument("--distance", type=int, default=5)
+    stream.add_argument("--error-rate", type=float, default=0.002)
+    stream.add_argument("--noise", default="circuit_level")
+    stream.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="measurement rounds per shot (default: the code distance)",
+    )
+    stream.add_argument("--samples", type=int, default=200)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--decoder",
+        choices=list(DECODERS_WITH_TIMING_MODELS),
+        default="micro-blossom",
+        help="decoders with a published timing model",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="sliding-window size for adapter-streamed backends "
+        "(default: unbounded, exactness-preserving)",
+    )
+    stream.add_argument(
+        "--commit-depth",
+        type=int,
+        default=None,
+        help="rounds behind the window base after which decisions freeze",
+    )
+    stream.add_argument("--workers", type=int, default=1)
+    stream.add_argument(
+        "--shard-size",
+        type=int,
+        default=256,
+        help="shots per seed-stable shard (= per concurrent logical-qubit stream)",
+    )
+
     sweep = subparsers.add_parser(
         "sweep",
         help="declarative, resumable evaluation sweeps (see docs/sweeps.md)",
@@ -213,6 +265,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect latency histograms under the published timing models",
     )
+    run.add_argument(
+        "--streaming",
+        action="store_true",
+        help="add the streaming axis: run every cell batch AND streamed "
+        "(reaction-latency percentiles on the same seeds)",
+    )
 
     resume = sweep_sub.add_parser(
         "resume",
@@ -260,6 +318,32 @@ def _command_decode(args: argparse.Namespace) -> int:
             row["optimal"] = reference.decode(syndrome).weight
         rows.append(row)
     print(format_rows(rows, ["sample", "defects", "correction_edges", "weight", "optimal"]))
+    return 0
+
+
+def _command_decoders(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_decoders():
+        spec = decoder_spec(name)
+        caps = spec.capabilities
+        rows.append(
+            {
+                "name": name,
+                "streaming": "native" if caps.native_streaming else "adapter",
+                "timing_model": "yes" if caps.timing_model else "no",
+                "batch_decode": "yes" if caps.batch_decode else "no",
+                "exact": "yes" if caps.exact else "no",
+                "description": spec.description,
+            }
+        )
+    print(
+        format_rows(
+            rows,
+            ["name", "streaming", "timing_model", "batch_decode", "exact"],
+        )
+    )
+    for row in rows:
+        print(f"  {row['name']}: {row['description']}")
     return 0
 
 
@@ -346,11 +430,43 @@ def _command_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    graph = surface_code_decoding_graph(
+        args.distance,
+        noise_model_by_name(args.noise, args.error_rate),
+        rounds=args.rounds,
+    )
+    engine = StreamEngine(
+        graph,
+        args.decoder,
+        window=args.window,
+        commit_depth=args.commit_depth,
+        shard_size=args.shard_size,
+        workers=args.workers,
+    )
+    result = engine.run(args.samples, seed=args.seed)
+    reaction = result.reaction
+    print(
+        f"decoder={args.decoder} d={args.distance} p={args.error_rate} "
+        f"rounds={graph.num_layers} shots={result.shots} "
+        f"streams={result.streams} logical_error_rate={result.rate:.4g}"
+    )
+    print(
+        f"reaction_us mean={reaction.mean * 1e6:.3f} "
+        f"p50={reaction.percentile(50) * 1e6:.3f} "
+        f"p99={reaction.percentile(99) * 1e6:.3f} "
+        f"max={reaction.max_seconds * 1e6:.3f}"
+    )
+    print(f"max_backlog_us={result.max_backlog_seconds * 1e6:.3f}")
+    return 0
+
+
 REPORT_COLUMNS = [
     "distance",
     "noise",
     "physical_error_rate",
     "decoder",
+    "mode",
     "shots",
     "errors",
     "logical_error_rate",
@@ -380,6 +496,7 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         shard_size=args.shard_size,
         target_standard_error=args.target_se,
         collect_latency=args.latency,
+        streaming=(False, True) if args.streaming else (False,),
     )
 
 
@@ -502,10 +619,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "decode": _command_decode,
+        "decoders": _command_decoders,
         "experiment": _command_experiment,
         "resources": _command_resources,
         "accuracy": _command_accuracy,
         "latency": _command_latency,
+        "stream": _command_stream,
         "sweep": _command_sweep,
     }
     return handlers[args.command](args)

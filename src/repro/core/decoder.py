@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..api.outcome import DecodeOutcome as DecodeOutcomeBase
 from ..api.outcome import counter_delta
@@ -61,8 +62,35 @@ class MicroBlossomOutcome(DecodeOutcomeBase):
 DecodeOutcome = MicroBlossomOutcome
 
 
+@dataclass
+class _StreamState:
+    """State of one in-flight incremental stream (``begin`` … ``finalize``)."""
+
+    accelerator: MicroBlossomAccelerator
+    primal: PrimalModule
+    baseline: Counter
+    scale: int
+    #: Defects of every round pushed so far (replayed on a scale retry).
+    rounds: list[tuple[int, ...]] = field(default_factory=list)
+    #: Absolute counter snapshot taken at the start of the latest round —
+    #: the work recorded after it is what remains once the final round
+    #: arrived (paper §8.2).
+    last_snapshot: Counter = field(default_factory=Counter)
+    retries: int = 0
+    any_defects: bool = False
+
+
 class MicroBlossomDecoder:
-    """Exact MWPM decoder with the Micro Blossom heterogeneous architecture."""
+    """Exact MWPM decoder with the Micro Blossom heterogeneous architecture.
+
+    Besides the batch :class:`~repro.api.protocol.Decoder` surface, the class
+    natively implements the incremental
+    :class:`~repro.api.protocol.StreamingDecoder` protocol
+    (``begin`` / ``push_round`` / ``finalize``): each pushed round is loaded
+    and fused immediately, so only the residual work remains when the final
+    round arrives.  ``decode_detailed`` with ``stream=True`` is simply the
+    protocol driven from a fully-materialised syndrome.
+    """
 
     name = "micro-blossom"
 
@@ -80,6 +108,7 @@ class MicroBlossomDecoder:
         self.scale = scale
         self.reuse_engines = reuse_engines
         self._engines: dict[int, tuple[MicroBlossomAccelerator, PrimalModule]] = {}
+        self._stream_state: _StreamState | None = None
 
     # ------------------------------------------------------------------
     # public API
@@ -99,7 +128,14 @@ class MicroBlossomDecoder:
         :class:`IntegralityError` forces a retry at a doubled scale, the
         doubled scale is confined to that retry (and its cached engine) and
         never leaks into subsequent decodes of the same decoder or session.
+        In stream mode the syndrome is replayed through the incremental
+        round-push protocol, one measurement round at a time.
         """
+        if self.stream:
+            self.begin(rounds_hint=self.graph.num_layers)
+            for round_defects in syndrome.defects_by_layer(self.graph):
+                self.push_round(round_defects)
+            return self.finalize()
         scale = self.scale
         last_error: IntegralityError | None = None
         for retry in range(MAX_SCALE_RETRIES + 1):
@@ -117,6 +153,149 @@ class MicroBlossomDecoder:
     def reset(self) -> None:
         """Drop all cached engines; the next decode rebuilds them."""
         self._engines = {}
+        self._stream_state = None
+
+    # ------------------------------------------------------------------
+    # incremental streaming (StreamingDecoder protocol, paper §6)
+    # ------------------------------------------------------------------
+    def begin(
+        self, graph: DecodingGraph | None = None, rounds_hint: int | None = None
+    ) -> None:
+        """Open a new stream; any stream still in flight is discarded."""
+        if graph is not None and graph is not self.graph:
+            raise ValueError("streaming decoder was built for a different graph")
+        if rounds_hint is not None and rounds_hint > self.graph.num_layers:
+            raise ValueError(
+                f"rounds_hint {rounds_hint} exceeds the graph's "
+                f"{self.graph.num_layers} measurement rounds"
+            )
+        accelerator, primal, baseline = self._acquire(self.scale)
+        snapshot = Counter(accelerator.counters)
+        snapshot.update(primal.counters)
+        self._stream_state = _StreamState(
+            accelerator=accelerator,
+            primal=primal,
+            baseline=baseline,
+            scale=self.scale,
+            last_snapshot=snapshot,
+        )
+
+    def push_round(self, defects: Iterable[int]) -> Counter:
+        """Fuse the next measurement round; return the work it cost.
+
+        The round is decoded *now*: its defects are loaded, matchings to the
+        receding fusion boundary are broken, and the primal module runs to
+        quiescence.  The returned counter delta is the complete cost of the
+        round.  An :class:`IntegralityError` is resolved by replaying every
+        pushed round at a doubled internal scale, exactly like the batch
+        path's retry — so streamed outcomes match batch outcomes even on
+        retry-triggering instances.
+        """
+        state = self._stream_state
+        if state is None:
+            raise RuntimeError("push_round before begin(); open a stream first")
+        layer = len(state.rounds)
+        if layer >= self.graph.num_layers:
+            raise ValueError(
+                f"stream already received all {self.graph.num_layers} rounds"
+            )
+        defects = tuple(defects)
+        for defect in defects:
+            if self.graph.vertices[defect].layer != layer:
+                raise ValueError(
+                    f"defect {defect} belongs to round "
+                    f"{self.graph.vertices[defect].layer}, not round {layer}"
+                )
+        state.rounds.append(defects)
+        try:
+            return self._stream_step(state, layer, defects)
+        except IntegralityError as error:
+            last_error = error
+        while state.retries < MAX_SCALE_RETRIES:
+            state.retries += 1
+            state.scale *= 2
+            try:
+                return self._stream_replay(state)
+            except IntegralityError as error:
+                last_error = error
+        raise IntegralityError(
+            f"stream decoding failed even at dual scale {state.scale}: {last_error}"
+        )
+
+    def finalize(self) -> MicroBlossomOutcome:
+        """Close the stream and return the outcome of the whole instance.
+
+        Rounds never pushed keep acting as the fusion boundary, so a stream
+        closed early decodes the instance "as seen so far".  The outcome's
+        ``post_final_round_counters`` cover everything recorded since the
+        final pushed round arrived — the quantity that determines decoding
+        latency (paper §8.2).
+        """
+        state = self._stream_state
+        if state is None:
+            raise RuntimeError("finalize before begin(); open a stream first")
+        accelerator, primal = state.accelerator, state.primal
+        post_final = counter_delta(
+            state.last_snapshot, accelerator.counters, primal.counters
+        )
+        defects = tuple(sorted(d for round_defects in state.rounds for d in round_defects))
+        syndrome = Syndrome(defects=defects)
+        result = self._collect_result(syndrome, accelerator, primal)
+        counters = counter_delta(state.baseline, accelerator.counters, primal.counters)
+        prematched = len(accelerator.prematched_pairs())
+        outcome = MicroBlossomOutcome(
+            result=result,
+            defect_count=len(defects),
+            counters=counters,
+            post_final_round_counters=post_final,
+            hardware_report=MicroBlossomAccelerator.hardware_report_from(counters),
+            prematched_pairs=prematched,
+            stream=True,
+            prematching=self.enable_prematching,
+        )
+        outcome.scale_retries = state.retries
+        self._stream_state = None
+        return outcome
+
+    def _stream_step(
+        self, state: _StreamState, layer: int, defects: tuple[int, ...]
+    ) -> Counter:
+        """Fuse one round into the running solution and return its cost."""
+        accelerator, primal = state.accelerator, state.primal
+        snapshot = Counter(accelerator.counters)
+        snapshot.update(primal.counters)
+        state.last_snapshot = snapshot
+        graph = self.graph
+        accelerator.load(defects, layers={layer})
+        if defects or state.any_defects:
+            # Zero-defect fast path: with no defect loaded so far there is no
+            # node to re-examine, so an empty round is just a layer load.
+            state.any_defects = state.any_defects or bool(defects)
+            newly_real = {
+                v for v in graph.vertices_in_layer(layer) if not graph.is_virtual(v)
+            }
+            primal.break_boundary_matches(newly_real)
+            primal.run()
+        return counter_delta(snapshot, accelerator.counters, primal.counters)
+
+    def _stream_replay(self, state: _StreamState) -> Counter:
+        """Re-run every pushed round at ``state.scale`` on fresh engines.
+
+        The accumulated delta of the whole replay is returned: the push that
+        triggered the retry is charged for all the re-done work, since the
+        deltas earlier pushes reported belong to the abandoned engine.
+        """
+        accelerator, primal, baseline = self._acquire(state.scale)
+        state.accelerator = accelerator
+        state.primal = primal
+        state.baseline = baseline
+        state.any_defects = False
+        state.last_snapshot = Counter(accelerator.counters)
+        state.last_snapshot.update(primal.counters)
+        delta: Counter = Counter()
+        for layer, defects in enumerate(state.rounds):
+            delta.update(self._stream_step(state, layer, defects))
+        return delta
 
     # ------------------------------------------------------------------
     # internals
@@ -150,12 +329,9 @@ class MicroBlossomDecoder:
 
     def _decode_once(self, syndrome: Syndrome, scale: int) -> MicroBlossomOutcome:
         accelerator, primal, baseline = self._acquire(scale)
-        if self.stream:
-            post_final = self._decode_stream(syndrome, accelerator, primal)
-        else:
-            accelerator.load(syndrome.defects)
-            primal.run()
-            post_final = counter_delta(baseline, accelerator.counters, primal.counters)
+        accelerator.load(syndrome.defects)
+        primal.run()
+        post_final = counter_delta(baseline, accelerator.counters, primal.counters)
         result = self._collect_result(syndrome, accelerator, primal)
         counters = counter_delta(baseline, accelerator.counters, primal.counters)
         prematched = len(accelerator.prematched_pairs())
@@ -166,33 +342,9 @@ class MicroBlossomDecoder:
             post_final_round_counters=post_final,
             hardware_report=MicroBlossomAccelerator.hardware_report_from(counters),
             prematched_pairs=prematched,
-            stream=self.stream,
+            stream=False,
             prematching=self.enable_prematching,
         )
-
-    def _decode_stream(
-        self,
-        syndrome: Syndrome,
-        accelerator: MicroBlossomAccelerator,
-        primal: PrimalModule,
-    ) -> Counter:
-        """Round-wise fusion: load and solve one measurement round at a time."""
-        graph = self.graph
-        num_layers = graph.num_layers
-        snapshot = Counter()
-        for layer in range(num_layers):
-            if layer == num_layers - 1:
-                snapshot = Counter(accelerator.counters)
-                snapshot.update(primal.counters)
-            layer_vertices = set(graph.vertices_in_layer(layer))
-            layer_defects = [d for d in syndrome.defects if d in layer_vertices]
-            accelerator.load(layer_defects, layers={layer})
-            newly_real = {
-                v for v in layer_vertices if not graph.is_virtual(v)
-            }
-            primal.break_boundary_matches(newly_real)
-            primal.run()
-        return counter_delta(snapshot, accelerator.counters, primal.counters)
 
     def _collect_result(
         self,

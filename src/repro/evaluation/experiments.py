@@ -315,23 +315,37 @@ def stream_vs_batch(
     rounds_list: Sequence[int] = (2, 4, 6, 8),
     samples: int = 15,
     seed: int = 4,
+    workers: int = 1,
 ) -> list[dict]:
-    """Decoding latency as a function of the number of measurement rounds."""
+    """Reaction latency as a function of the number of measurement rounds.
+
+    Both columns come from the continuous-stream
+    :class:`~repro.evaluation.stream.StreamEngine` driving the same
+    seed-stable shots round by round: ``micro-blossom`` fuses each round as
+    it arrives (native streaming) so the reaction latency — the work left
+    after the final round — stays flat, while ``micro-blossom-batch``
+    (replayed through the sliding-window adapter) defers all decoding to the
+    final round and its reaction latency grows with the round count.
+    """
+    from .stream import StreamEngine
+
     rows: list[dict] = []
     for rounds in rounds_list:
         graph = build_graph(distance, physical_error_rate, rounds=rounds)
-        batch = _sample_micro(
-            graph, distance, samples, seed, enable_prematching=True, stream=False
-        )
-        stream = _sample_micro(
-            graph, distance, samples, seed, enable_prematching=True, stream=True
-        )
+        latencies = {}
+        for label, decoder in (
+            ("batch", "micro-blossom-batch"),
+            ("stream", "micro-blossom"),
+        ):
+            engine = StreamEngine(graph, decoder, workers=workers)
+            result = engine.run(samples, seed=seed)
+            latencies[label] = result.reaction.mean
         rows.append(
             {
                 "distance": distance,
                 "rounds": rounds,
-                "batch_latency_us": _mean(s.latency_seconds for s in batch) * 1e6,
-                "stream_latency_us": _mean(s.latency_seconds for s in stream) * 1e6,
+                "batch_latency_us": latencies["batch"] * 1e6,
+                "stream_latency_us": latencies["stream"] * 1e6,
             }
         )
     return rows

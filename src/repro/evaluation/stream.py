@@ -1,0 +1,349 @@
+"""Continuous-stream evaluation engine (reaction latency and backlog).
+
+The :class:`StreamEngine` evaluates decoders under the paper's *online*
+workload: measurement rounds arrive every ``round_interval_seconds`` (1 µs on
+superconducting hardware, :data:`repro.latency.MEASUREMENT_ROUND_SECONDS`)
+and are pushed into a :class:`repro.api.StreamingDecoder` as they arrive.
+For each shot the engine records
+
+* **reaction latency** — the modelled time from the arrival of the *final*
+  measurement round until the decode completes.  Work is converted to seconds
+  by the backend's published timing model applied to the operation counters
+  recorded *after* the final round arrived (last ``push_round`` plus
+  ``finalize``), the same §8.2 convention as Figure 10b — plus any backlog the
+  earlier rounds left behind;
+* **backlog** — how far decoding lags behind the measurement cadence while
+  the stream is in flight: each round's push work is scheduled no earlier
+  than its arrival and no earlier than the previous round's completion, and
+  the worst spill past the next arrival is the shot's backlog.  A backlog of
+  zero means the decoder keeps up with the 1 µs round interval;
+* **logical errors** — streamed corrections are compared against the ground
+  truth exactly like the batch Monte-Carlo engine.
+
+**Sharding / seeding contract.**  Mirrors
+:class:`~repro.evaluation.engine.MonteCarloEngine`: a run of ``max_shots``
+shots splits into fixed-size shards, shard ``i`` — one independent
+*logical-qubit stream* with its own decoder state — draws its syndromes from
+a sampler seeded ``SeedSequence([seed, i])`` and decodes them back to back.
+Shards are merged strictly in shard order, so results are a pure function of
+``(seed, shard_size, max_shots)``; ``workers`` only changes wall-clock time.
+Syndromes are emitted round-by-round
+(:meth:`~repro.graphs.syndrome.SyndromeSampler.sample_rounds`), bit-identical
+to batch sampling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..api.config import DecoderConfig
+from ..api.registry import decoder_spec
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.syndrome import SyndromeSampler
+from ..latency.model import (
+    MEASUREMENT_ROUND_SECONDS,
+    HeliosLatencyModel,
+    MicroBlossomLatencyModel,
+    ParityBlossomLatencyModel,
+)
+from ..stream import DEFECTS_DECODED, get_streaming_decoder
+from .engine import (
+    DEFAULT_SHARD_SIZE,
+    LatencyHistogram,
+    binomial_standard_error,
+    rule_of_three_upper_bound,
+)
+
+#: Maps one round's operation counters to modelled seconds of work.
+StreamLatencyFn = Callable[[Counter], float]
+
+
+def stream_latency_fn(name: str, graph: DecodingGraph) -> StreamLatencyFn:
+    """Per-round timing model of a registered decoder, as counters → seconds.
+
+    The counter-only signature lets one function price both a single pushed
+    round and the post-final-round residue.  Defect-count-driven models
+    (Parity Blossom, Helios) read the synthetic
+    :data:`repro.stream.DEFECTS_DECODED` counter that the sliding-window
+    adapter records on every decode.
+    """
+    distance = graph.metadata.get("distance")
+    if distance is None:
+        raise ValueError(
+            "graph metadata lacks 'distance'; modelled latency needs the code "
+            "distance to pick the accelerator clock"
+        )
+    if name in ("micro-blossom", "micro-blossom-batch"):
+        micro_model = MicroBlossomLatencyModel(distance, graph.num_edges)
+        return micro_model.latency_seconds
+    if name == "parity-blossom":
+        parity_model = ParityBlossomLatencyModel()
+        return lambda counters: parity_model.latency_seconds(
+            counters, int(counters.get(DEFECTS_DECODED, 0))
+        )
+    if name == "union-find":
+        helios_model = HeliosLatencyModel()
+        return lambda counters: helios_model.latency_seconds(
+            distance, int(counters.get(DEFECTS_DECODED, 0))
+        )
+    raise ValueError(f"no latency model is defined for decoder {name!r}")
+
+
+@dataclass(frozen=True)
+class StreamShardResult:
+    """Merged statistics of one decoded logical-qubit stream (= one shard)."""
+
+    index: int
+    shots: int
+    errors: int
+    defects: int
+    rounds: int
+    reaction: LatencyHistogram
+    max_backlog_seconds: float
+    counters: Counter
+
+
+@dataclass
+class StreamEngineResult:
+    """Merged outcome of a :class:`StreamEngine` run."""
+
+    shots: int
+    errors: int
+    shards: list[StreamShardResult] = field(default_factory=list)
+    reaction: LatencyHistogram = field(default_factory=LatencyHistogram)
+    max_backlog_seconds: float = 0.0
+    defects: int = 0
+    rounds: int = 0
+    counters: Counter = field(default_factory=Counter)
+
+    @property
+    def rate(self) -> float:
+        return self.errors / self.shots if self.shots else 0.0
+
+    @property
+    def standard_error(self) -> float:
+        return binomial_standard_error(self.errors, self.shots)
+
+    @property
+    def upper_bound(self) -> float:
+        """One-sided 95% upper bound on the rate (rule of three when 0 errors)."""
+        return rule_of_three_upper_bound(self.errors, self.shots)
+
+    @property
+    def streams(self) -> int:
+        """Concurrent logical-qubit streams the run drove (= shards)."""
+        return len(self.shards)
+
+
+def reaction_counters(earlier: Counter, total: Counter) -> Counter:
+    """Post-final-round work: the outcome total minus the earlier pushes.
+
+    Clamped at zero per key: after a mid-stream scale retry the push that
+    triggered it re-reports work of rounds whose original deltas belong to an
+    abandoned engine, so the earlier-push sum can exceed the outcome total —
+    the residue must never price negative seconds of work.
+    """
+    residue: Counter = Counter()
+    for key, value in total.items():
+        difference = value - earlier.get(key, 0)
+        if difference > 0:
+            residue[key] = difference
+    return residue
+
+
+# ---------------------------------------------------------------------------
+# the per-stream decode loop (shared by inline and worker execution)
+# ---------------------------------------------------------------------------
+def _run_stream_shard(
+    graph: DecodingGraph,
+    session,
+    latency_fn: StreamLatencyFn,
+    index: int,
+    shots: int,
+    seed: int,
+    round_interval: float,
+) -> StreamShardResult:
+    sampler = SyndromeSampler(graph, seed=np.random.SeedSequence([int(seed), int(index)]))
+    reaction = LatencyHistogram()
+    errors = 0
+    defects = 0
+    rounds_total = 0
+    max_backlog = 0.0
+    counters: Counter = Counter()
+    for _ in range(shots):
+        syndrome, rounds = sampler.sample_rounds()
+        if syndrome.logical_flip is None:
+            raise ValueError("sampled syndrome lacks ground truth")
+        session.begin(graph, rounds_hint=len(rounds))
+        pushes = [session.push_round(round_defects) for round_defects in rounds]
+        outcome = session.finalize()
+        counters.update(outcome.counters)
+        defects += syndrome.defect_count
+        rounds_total += len(rounds)
+        # Everything not spent on rounds before the last one is reaction work:
+        # the final push plus finalize.
+        earlier: Counter = Counter()
+        for push in pushes[:-1]:
+            earlier.update(push)
+        residue = reaction_counters(earlier, outcome.counters)
+        # Schedule the earlier pushes against the measurement cadence.
+        finish = 0.0
+        for index_r, push in enumerate(pushes[:-1]):
+            start = max(index_r * round_interval, finish)
+            finish = start + latency_fn(push)
+            max_backlog = max(max_backlog, finish - (index_r + 1) * round_interval)
+        last_arrival = (len(rounds) - 1) * round_interval
+        completion = max(last_arrival, finish) + latency_fn(residue)
+        reaction.add(completion - last_arrival)
+        correction = outcome.correction_edges(graph)
+        if graph.crosses_observable(correction) != syndrome.logical_flip:
+            errors += 1
+    return StreamShardResult(
+        index=index,
+        shots=shots,
+        errors=errors,
+        defects=defects,
+        rounds=rounds_total,
+        reaction=reaction,
+        max_backlog_seconds=max(0.0, max_backlog),
+        counters=counters,
+    )
+
+
+#: Per-process streaming session of an engine worker (built once by the pool
+#: initializer, reused for every stream the worker decodes).
+_STREAM_WORKER = None
+
+
+def _stream_worker_init(graph, name, config, window, commit_depth) -> None:
+    global _STREAM_WORKER
+    session = get_streaming_decoder(
+        name, graph, config, window=window, commit_depth=commit_depth
+    )
+    _STREAM_WORKER = (graph, session, stream_latency_fn(name, graph))
+
+
+def _stream_worker_run(payload: tuple) -> StreamShardResult:
+    graph, session, latency_fn = _STREAM_WORKER
+    index, shots, seed, round_interval = payload
+    return _run_stream_shard(
+        graph, session, latency_fn, index, shots, seed, round_interval
+    )
+
+
+class StreamEngine:
+    """Sharded continuous-stream estimator of reaction latency and accuracy.
+
+    ``decoder`` must be a registry name whose backend has a published timing
+    model (see :func:`stream_latency_fn`).  ``window`` / ``commit_depth``
+    configure the :class:`repro.stream.SlidingWindowAdapter` for backends
+    without native streaming; a finite window also forces the adapter for
+    native backends, enabling window-vs-fusion comparisons on Micro Blossom
+    itself.
+    """
+
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        decoder: str = "micro-blossom",
+        config: DecoderConfig | None = None,
+        *,
+        window: int | None = None,
+        commit_depth: int | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        workers: int = 1,
+        round_interval_seconds: float = MEASUREMENT_ROUND_SECONDS,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if round_interval_seconds <= 0:
+            raise ValueError("round_interval_seconds must be positive")
+        spec = decoder_spec(decoder)  # fail fast on unknown names
+        if config is not None and not isinstance(config, spec.config_cls):
+            raise TypeError(
+                f"decoder {decoder!r} expects a {spec.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        self.graph = graph
+        self.decoder_name = decoder
+        self.config = config
+        self.window = window
+        self.commit_depth = commit_depth
+        self.shard_size = shard_size
+        self.workers = workers
+        self.round_interval_seconds = round_interval_seconds
+        # Build the latency fn eagerly so a missing timing model fails here.
+        self._latency_fn = stream_latency_fn(decoder, graph)
+
+    def _plan_shards(self, max_shots: int) -> list[int]:
+        full, remainder = divmod(max_shots, self.shard_size)
+        return [self.shard_size] * full + ([remainder] if remainder else [])
+
+    def run(self, max_shots: int, seed: int | None = 0) -> StreamEngineResult:
+        """Stream-decode ``max_shots`` shots across seed-stable shards.
+
+        Every shard is one independent logical-qubit stream; ``seed = None``
+        draws a fresh base seed from OS entropy (not reproducible).
+        """
+        if max_shots <= 0:
+            raise ValueError("max_shots must be positive")
+        if seed is None:
+            seed = int(np.random.SeedSequence().generate_state(1)[0])
+        plan = self._plan_shards(max_shots)
+        result = StreamEngineResult(shots=0, errors=0)
+        if self.workers == 1 or len(plan) == 1:
+            session = get_streaming_decoder(
+                self.decoder_name,
+                self.graph,
+                self.config,
+                window=self.window,
+                commit_depth=self.commit_depth,
+            )
+            shards = [
+                _run_stream_shard(
+                    self.graph,
+                    session,
+                    self._latency_fn,
+                    index,
+                    shots,
+                    seed,
+                    self.round_interval_seconds,
+                )
+                for index, shots in enumerate(plan)
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(plan)),
+                initializer=_stream_worker_init,
+                initargs=(
+                    self.graph,
+                    self.decoder_name,
+                    self.config,
+                    self.window,
+                    self.commit_depth,
+                ),
+            ) as pool:
+                payloads = [
+                    (index, shots, seed, self.round_interval_seconds)
+                    for index, shots in enumerate(plan)
+                ]
+                shards = list(pool.map(_stream_worker_run, payloads))
+        for shard in shards:  # merged strictly in shard order
+            result.shards.append(shard)
+            result.shots += shard.shots
+            result.errors += shard.errors
+            result.defects += shard.defects
+            result.rounds += shard.rounds
+            result.counters.update(shard.counters)
+            result.reaction.merge(shard.reaction)
+            result.max_backlog_seconds = max(
+                result.max_backlog_seconds, shard.max_backlog_seconds
+            )
+        return result

@@ -26,6 +26,7 @@ from .syndrome import (
     SyndromeSampler,
     correction_edges,
     is_logical_error,
+    matching_from_correction,
     residual_defects,
 )
 
@@ -52,5 +53,6 @@ __all__ = [
     "SyndromeSampler",
     "correction_edges",
     "is_logical_error",
+    "matching_from_correction",
     "residual_defects",
 ]

@@ -53,6 +53,19 @@ class Syndrome:
             d for d in self.defects if graph.vertices[d].layer in layer_set
         )
 
+    def defects_by_layer(self, graph: DecodingGraph) -> tuple[tuple[int, ...], ...]:
+        """The defects split per measurement round, in arrival order.
+
+        Returns one (possibly empty) tuple per graph layer; concatenating
+        them restores ``defects`` exactly.  This is the push schedule of the
+        streaming decoders: round ``r``'s entry is what
+        :meth:`repro.api.StreamingDecoder.push_round` receives.
+        """
+        rounds: list[list[int]] = [[] for _ in range(graph.num_layers)]
+        for defect in self.defects:
+            rounds[graph.vertices[defect].layer].append(defect)
+        return tuple(tuple(layer) for layer in rounds)
+
 
 @dataclass
 class MatchingResult:
@@ -148,6 +161,18 @@ class SyndromeSampler:
             int(i) for i in np.flatnonzero(flips[: self.graph.num_edges])
         )
         return self.syndrome_from_errors(error_edges)
+
+    def sample_rounds(self) -> tuple[Syndrome, tuple[tuple[int, ...], ...]]:
+        """Sample one syndrome and emit its defects round by round.
+
+        Returns ``(syndrome, rounds)`` where ``rounds[r]`` holds the defects
+        produced by measurement round ``r`` — the push schedule for a
+        :class:`repro.api.StreamingDecoder`.  The underlying draw is one
+        ordinary :meth:`sample` call, so a round-streamed shot is
+        bit-identical to (and freely interleavable with) batch sampling.
+        """
+        syndrome = self.sample()
+        return syndrome, syndrome.defects_by_layer(self.graph)
 
     def _incidence_arrays(self) -> tuple[np.ndarray, ...]:
         """Sparse incidence matrix of the graph, restricted to real vertices.
@@ -294,6 +319,68 @@ def matching_weight(graph: DecodingGraph, result: MatchingResult) -> int:
         else:
             total += graph.distance(u, v)
     return total
+
+
+def matching_from_correction(
+    graph: DecodingGraph, defects: Sequence[int], correction: Iterable[int]
+) -> MatchingResult:
+    """Derive a defect pairing from a correction edge set.
+
+    The endpoints of the correction paths are exactly the vertices of odd
+    degree in the correction subgraph: the defects, plus the boundary
+    vertices absorbing unpaired parity.  Defects in the same connected
+    component are paired with each other; a leftover defect is matched to a
+    boundary vertex of its component.  The weight is the total weight of the
+    correction edges (not a shortest-path matching weight — used by decoders
+    that are approximate by design, and by streaming adapters that only hold
+    a correction for part of the instance).
+    """
+    defect_set = set(defects)
+    adjacency: dict[int, list[int]] = {}
+    degree: dict[int, int] = {}
+    weight = 0
+    for edge_index in correction:
+        edge = graph.edges[edge_index]
+        weight += edge.weight
+        adjacency.setdefault(edge.u, []).append(edge.v)
+        adjacency.setdefault(edge.v, []).append(edge.u)
+        degree[edge.u] = degree.get(edge.u, 0) + 1
+        degree[edge.v] = degree.get(edge.v, 0) + 1
+
+    result = MatchingResult(weight=weight)
+    seen: set[int] = set()
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        component: set[int] = set()
+        queue = [start]
+        seen.add(start)
+        while queue:
+            vertex = queue.pop()
+            component.add(vertex)
+            for neighbor in adjacency.get(vertex, []):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        odd = [v for v in sorted(component) if degree.get(v, 0) % 2 == 1]
+        odd_defects = [v for v in odd if v in defect_set]
+        odd_boundary = [v for v in odd if v not in defect_set]
+        for first, second in zip(odd_defects[0::2], odd_defects[1::2]):
+            result.pairs.append((first, second))
+        if len(odd_defects) % 2 == 1:
+            leftover = odd_defects[-1]
+            result.pairs.append((leftover, BOUNDARY))
+            if odd_boundary:
+                result.boundary_vertices[leftover] = odd_boundary[0]
+    matched = set(result.matched_vertices())
+    if matched != defect_set:
+        # Degenerate corrections (e.g. a defect whose paths cancelled out)
+        # leave defects without correction edges; they must still appear
+        # in the matching, matched to the nearest boundary for weight 0+.
+        for defect in sorted(defect_set - matched):
+            result.pairs.append((defect, BOUNDARY))
+    result.validate_perfect(list(defects))
+    return result
 
 
 def correction_edges(graph: DecodingGraph, result: MatchingResult) -> set[int]:

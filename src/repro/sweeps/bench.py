@@ -26,7 +26,9 @@ from .runner import SweepRunResult
 from .store import PointResult
 
 #: Version of the BENCH document layout; bump on breaking changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2: points gained a required ``streaming`` flag (stream reaction-latency
+#: points live next to batch decode-latency points).
+BENCH_SCHEMA_VERSION = 2
 
 
 class BenchSchemaError(ValueError):
@@ -69,6 +71,9 @@ def _point_entry(result: PointResult) -> dict:
         "noise": point.noise,
         "physical_error_rate": point.physical_error_rate,
         "decoder": point.decoder,
+        # Streaming points report reaction-latency percentiles (time left
+        # after the final measurement round) instead of decode latency.
+        "streaming": point.streaming,
         "seed": point.seed,
         "shots": result.shots,
         "errors": result.errors,
@@ -142,6 +147,7 @@ _POINT_REQUIRED = (
     "noise",
     "physical_error_rate",
     "decoder",
+    "streaming",
     "seed",
     "shots",
     "errors",
@@ -187,6 +193,10 @@ def validate_bench(document: dict) -> None:
         _check_number(point["distance"], f"{path}.distance", low=3)
         _require(isinstance(point["noise"], str), f"{path}.noise must be a string")
         _require(isinstance(point["decoder"], str), f"{path}.decoder must be a string")
+        _require(
+            isinstance(point["streaming"], bool),
+            f"{path}.streaming must be a boolean",
+        )
         _check_number(
             point["physical_error_rate"], f"{path}.physical_error_rate", 0.0, 1.0
         )

@@ -23,7 +23,10 @@ def scaling_points(
     """``(distance, physical_error_rate, rate)`` tuples usable by a fit.
 
     Zero-failure (degenerate) points are excluded; optional ``noise`` /
-    ``decoder`` filters restrict to one grid slice.
+    ``decoder`` filters restrict to one grid slice.  Streaming points are
+    excluded too: they decode the same seeded syndromes as their batch
+    counterparts (streaming is exactness-preserving), so keeping both would
+    double-count every cell.
     """
     out: list[tuple[int, float, float]] = []
     for result in results:
@@ -32,7 +35,7 @@ def scaling_points(
             continue
         if decoder is not None and point.decoder != decoder:
             continue
-        if result.zero_failures:
+        if result.zero_failures or point.streaming:
             continue
         out.append((point.distance, point.physical_error_rate, result.rate))
     return out
@@ -71,6 +74,7 @@ def report_rows(results: list[PointResult]) -> list[dict]:
             "noise": point.noise,
             "physical_error_rate": point.physical_error_rate,
             "decoder": point.decoder,
+            "mode": "stream" if point.streaming else "batch",
             "shots": result.shots,
             "errors": result.errors,
             "logical_error_rate": rate_display,

@@ -27,6 +27,7 @@ from ..evaluation.engine import (
     modelled_latency_fn,
     modelled_trivial_latency_seconds,
 )
+from ..evaluation.stream import StreamEngine
 from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.noise import noise_model_by_name
 from ..graphs.surface_code import surface_code_decoding_graph
@@ -85,8 +86,30 @@ def run_point(
     workers: int = 1,
     clock: Callable[[], float] = time.perf_counter,
 ) -> PointResult:
-    """Run one sweep point on the Monte-Carlo engine (no store involved)."""
+    """Run one sweep point (no store involved).
+
+    Batch points run on the Monte-Carlo engine; streaming points run on the
+    continuous-stream engine with the *same* shard seeds, so the two modes of
+    one cell decode identical syndromes and their latency column reports
+    modelled decode latency vs stream reaction latency respectively.
+    """
     graph = build_point_graph(point)
+    if point.streaming:
+        stream_engine = StreamEngine(
+            graph, point.decoder, shard_size=point.shard_size, workers=workers
+        )
+        started = clock()
+        stream_result = stream_engine.run(point.shots, seed=point.seed)
+        return PointResult(
+            point=point,
+            shots=stream_result.shots,
+            errors=stream_result.errors,
+            decoded_shots=stream_result.shots,
+            defects=stream_result.defects,
+            stopped_early=False,
+            latency=LatencySummary.from_histogram(stream_result.reaction),
+            elapsed_seconds=clock() - started,
+        )
     latency_fn = None
     trivial_latency = None
     if point.collect_latency:
@@ -115,9 +138,14 @@ def validate_spec_axes(spec: SweepSpec) -> None:
         decoder_spec(decoder)
     for noise in spec.noise_models:
         noise_model_by_name(noise, 0.001)
-    if spec.collect_latency:
+    if spec.collect_latency or any(spec.streaming):
         for decoder in spec.decoders:
             _require_latency_model(decoder)
+    if any(spec.streaming) and spec.target_standard_error is not None:
+        raise ValueError(
+            "early stopping (target_standard_error) is not supported for "
+            "streaming sweep points"
+        )
 
 
 def _require_latency_model(decoder: str) -> None:

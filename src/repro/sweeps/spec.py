@@ -27,7 +27,9 @@ from pathlib import Path
 from typing import Sequence
 
 #: Fields of :class:`SweepSpec` that determine Monte-Carlo results and hence
-#: participate in :meth:`SweepSpec.spec_hash`.
+#: participate in :meth:`SweepSpec.spec_hash`.  The ``streaming`` axis joins
+#: the hash payload only when it departs from the batch-only default, so
+#: stores written before the axis existed keep their cache hits.
 _HASHED_FIELDS = (
     "distances",
     "noise_models",
@@ -68,10 +70,17 @@ class SweepPoint:
     shard_size: int
     target_standard_error: float | None = None
     collect_latency: bool = False
+    #: Decode this point on the continuous-stream engine (reaction latency)
+    #: instead of the batch Monte-Carlo engine.
+    streaming: bool = False
 
     @property
     def key(self) -> str:
-        """Canonical parameter key (also the cache key inside a store)."""
+        """Canonical parameter key (also the cache key inside a store).
+
+        Streaming points carry a ``/stream=1`` suffix; batch points keep the
+        pre-axis key so existing stores stay addressable.
+        """
         target = (
             repr(float(self.target_standard_error))
             if self.target_standard_error is not None
@@ -87,6 +96,7 @@ class SweepPoint:
             f"/shard={self.shard_size}"
             f"/target_se={target}"
             f"/latency={int(self.collect_latency)}"
+            + ("/stream=1" if self.streaming else "")
         )
 
     def to_dict(self) -> dict:
@@ -108,12 +118,13 @@ class SweepPoint:
                 else float(data["target_standard_error"])
             ),
             collect_latency=bool(data.get("collect_latency", False)),
+            streaming=bool(data.get("streaming", False)),
         )
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """Declarative grid of (distance × noise × error rate × decoder) points."""
+    """Declarative grid of (distance × noise × p × decoder × streaming) points."""
 
     name: str
     distances: tuple[int, ...]
@@ -125,6 +136,11 @@ class SweepSpec:
     shard_size: int = 256
     target_standard_error: float | None = None
     collect_latency: bool = field(default=False)
+    #: Decode-mode axis: ``False`` runs a point on the batch Monte-Carlo
+    #: engine, ``True`` on the continuous-stream engine (reaction-latency
+    #: percentiles).  ``(False, True)`` evaluates every cell both ways on the
+    #: same seeds, a bare bool is accepted as a one-value axis.
+    streaming: tuple[bool, ...] = (False,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "distances", tuple(int(d) for d in self.distances))
@@ -137,11 +153,23 @@ class SweepSpec:
         object.__setattr__(
             self, "noise_models", tuple(str(n) for n in self.noise_models)
         )
+        streaming = self.streaming
+        if isinstance(streaming, bool):
+            streaming = (streaming,)
+        object.__setattr__(self, "streaming", tuple(bool(s) for s in streaming))
         if not self.name:
             raise ValueError("sweep needs a non-empty name")
-        for axis in ("distances", "physical_error_rates", "decoders", "noise_models"):
+        for axis in (
+            "distances",
+            "physical_error_rates",
+            "decoders",
+            "noise_models",
+            "streaming",
+        ):
             if not getattr(self, axis):
                 raise ValueError(f"sweep axis {axis!r} must be non-empty")
+        if len(set(self.streaming)) != len(self.streaming):
+            raise ValueError("streaming axis must not repeat a mode")
         if any(d < 3 or d % 2 == 0 for d in self.distances):
             raise ValueError("distances must be odd and >= 3")
         if any(not 0.0 < p < 1.0 for p in self.physical_error_rates):
@@ -160,8 +188,11 @@ class SweepSpec:
         """All points of the grid, in deterministic axis order.
 
         Order: distance (outer) → noise model → physical error rate →
-        decoder (inner); each point's seed is derived from its parameters,
-        never from its position.
+        decoder → streaming mode (inner); each point's seed is derived from
+        its parameters, never from its position.  The seed deliberately does
+        *not* cover the streaming mode: the batch and stream points of one
+        cell decode the same shard-seeded syndromes, so their error counts
+        are directly comparable (streamed decoding is exactness-preserving).
         """
         points: list[SweepPoint] = []
         for distance in self.distances:
@@ -172,19 +203,21 @@ class SweepSpec:
                             f"d={distance}/noise={noise}"
                             f"/p={float(physical)!r}/decoder={decoder}"
                         )
-                        points.append(
-                            SweepPoint(
-                                distance=distance,
-                                noise=noise,
-                                physical_error_rate=physical,
-                                decoder=decoder,
-                                shots=self.shots,
-                                seed=derive_point_seed(self.seed, partial_key),
-                                shard_size=self.shard_size,
-                                target_standard_error=self.target_standard_error,
-                                collect_latency=self.collect_latency,
+                        for streaming in self.streaming:
+                            points.append(
+                                SweepPoint(
+                                    distance=distance,
+                                    noise=noise,
+                                    physical_error_rate=physical,
+                                    decoder=decoder,
+                                    shots=self.shots,
+                                    seed=derive_point_seed(self.seed, partial_key),
+                                    shard_size=self.shard_size,
+                                    target_standard_error=self.target_standard_error,
+                                    collect_latency=self.collect_latency,
+                                    streaming=streaming,
+                                )
                             )
-                        )
         return points
 
     # ------------------------------------------------------------------
@@ -193,6 +226,10 @@ class SweepSpec:
     def spec_hash(self) -> str:
         """16-hex-digit content hash of the result-determining fields."""
         payload = {name: getattr(self, name) for name in _HASHED_FIELDS}
+        if self.streaming != (False,):
+            # Batch-only specs hash exactly as before the axis existed, so
+            # pre-axis stores keep serving cache hits.
+            payload["streaming"] = self.streaming
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -216,6 +253,8 @@ class SweepSpec:
                 else float(data["target_standard_error"])
             ),
             collect_latency=bool(data.get("collect_latency", False)),
+            # a bare bool is accepted and coerced to a one-value axis
+            streaming=data.get("streaming", (False,)),
         )
 
     @classmethod
@@ -247,7 +286,9 @@ def make_spec(
 #: Pinned spec of the CI ``perf-trajectory`` job (``repro sweep run --smoke``).
 #: Small enough for a pull-request gate, large enough that every decoder sees
 #: logical errors at these above-threshold error rates, with latency
-#: histograms enabled so `BENCH_sweep.json` carries timing trajectories.
+#: histograms enabled so `BENCH_sweep.json` carries timing trajectories.  The
+#: ``streaming`` axis runs every cell both batch and streamed, so the
+#: trajectory also records stream reaction-latency percentiles per commit.
 SMOKE_SPEC = SweepSpec(
     name="ci-smoke",
     distances=(3, 5),
@@ -258,4 +299,5 @@ SMOKE_SPEC = SweepSpec(
     seed=2026,
     shard_size=64,
     collect_latency=True,
+    streaming=(False, True),
 )

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from ..api.outcome import DecodeOutcome
 from ..graphs.decoding_graph import DecodingGraph
-from ..graphs.syndrome import BOUNDARY, MatchingResult, Syndrome
+from ..graphs.syndrome import MatchingResult, Syndrome, matching_from_correction
 
 #: Safety bound on growth rounds (each round saturates at least one edge).
 _MAX_GROWTH_ROUNDS_FACTOR = 4
@@ -96,7 +96,7 @@ class UnionFindDecoder:
         matching weight — the decoder is approximate by design).
         """
         outcome = self.decode_detailed(syndrome)
-        return self._matching_from_correction(syndrome, outcome.correction)
+        return matching_from_correction(self.graph, syndrome.defects, outcome.correction)
 
     def decode_to_correction(self, syndrome: Syndrome) -> set[int]:
         return self.decode_detailed(syndrome).correction
@@ -170,65 +170,6 @@ class UnionFindDecoder:
 
         outcome.correction = self._peel(clusters, support, defects)
         return outcome
-
-    def _matching_from_correction(
-        self, syndrome: Syndrome, correction: set[int]
-    ) -> MatchingResult:
-        """Derive a defect pairing from a correction edge set.
-
-        The endpoints of the correction paths are exactly the vertices of odd
-        degree in the correction subgraph: the defects, plus the boundary
-        vertices absorbing unpaired parity.  Defects in the same connected
-        component are paired with each other; a leftover defect is matched to
-        a boundary vertex of its component.
-        """
-        graph = self.graph
-        defects = set(syndrome.defects)
-        adjacency: dict[int, list[int]] = {}
-        degree: dict[int, int] = {}
-        weight = 0
-        for edge_index in correction:
-            edge = graph.edges[edge_index]
-            weight += edge.weight
-            adjacency.setdefault(edge.u, []).append(edge.v)
-            adjacency.setdefault(edge.v, []).append(edge.u)
-            degree[edge.u] = degree.get(edge.u, 0) + 1
-            degree[edge.v] = degree.get(edge.v, 0) + 1
-
-        result = MatchingResult(weight=weight)
-        seen: set[int] = set()
-        for start in sorted(adjacency):
-            if start in seen:
-                continue
-            component: set[int] = set()
-            queue = deque([start])
-            seen.add(start)
-            while queue:
-                vertex = queue.popleft()
-                component.add(vertex)
-                for neighbor in adjacency.get(vertex, []):
-                    if neighbor not in seen:
-                        seen.add(neighbor)
-                        queue.append(neighbor)
-            odd = [v for v in sorted(component) if degree.get(v, 0) % 2 == 1]
-            odd_defects = [v for v in odd if v in defects]
-            odd_boundary = [v for v in odd if v not in defects]
-            for first, second in zip(odd_defects[0::2], odd_defects[1::2]):
-                result.pairs.append((first, second))
-            if len(odd_defects) % 2 == 1:
-                leftover = odd_defects[-1]
-                result.pairs.append((leftover, BOUNDARY))
-                if odd_boundary:
-                    result.boundary_vertices[leftover] = odd_boundary[0]
-        matched = set(result.matched_vertices())
-        if matched != defects:
-            # Degenerate corrections (e.g. a defect whose paths cancelled out)
-            # leave defects without correction edges; they must still appear
-            # in the matching, matched to the nearest boundary for weight 0+.
-            for defect in sorted(defects - matched):
-                result.pairs.append((defect, BOUNDARY))
-        result.validate_perfect(syndrome.defects)
-        return result
 
     # ------------------------------------------------------------------
     # peeling (correction extraction inside each grown cluster)

@@ -48,6 +48,68 @@ class TestDecodeCommand:
         assert "optimal" in output
 
 
+class TestDecodersCommand:
+    def test_lists_capabilities_not_bare_names(self, capsys):
+        assert main(["decoders"]) == 0
+        output = capsys.readouterr().out
+        assert "streaming" in output and "timing_model" in output
+        assert "native" in output  # micro-blossom streams natively
+        assert "adapter" in output  # everything else streams via the adapter
+        for name in ("micro-blossom", "parity-blossom", "union-find", "reference"):
+            assert name in output
+
+
+class TestStreamCommand:
+    def test_stream_micro_blossom(self, capsys):
+        exit_code = main(
+            [
+                "stream",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.02",
+                "--samples",
+                "48",
+                "--shard-size",
+                "16",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "reaction_us" in output
+        assert "max_backlog_us" in output
+        assert "streams=3" in output
+
+    def test_stream_adapter_backend_with_window(self, capsys):
+        exit_code = main(
+            [
+                "stream",
+                "--distance",
+                "3",
+                "--error-rate",
+                "0.03",
+                "--samples",
+                "24",
+                "--decoder",
+                "union-find",
+                "--window",
+                "2",
+                "--rounds",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "rounds=4" in output
+        assert "reaction_us" in output
+
+    def test_stream_rejects_decoder_without_model(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--decoder", "reference"])
+
+
 class TestOtherCommands:
     def test_resources_command(self, capsys):
         assert main(["resources"]) == 0
@@ -273,6 +335,34 @@ class TestSweepCommand:
         store = self._store(tmp_path)
         assert main(["sweep", "run", "--spec", str(spec_path), "--store", store]) == 0
         assert "'from-file'" in capsys.readouterr().out
+
+    def test_streaming_flag_adds_the_axis(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "--distances",
+                    "3",
+                    "--error-rates",
+                    "0.03",
+                    "--decoders",
+                    "union-find",
+                    "--shots",
+                    "32",
+                    "--shard-size",
+                    "16",
+                    "--streaming",
+                    "--store",
+                    store,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "2 run, 0 cached" in output  # batch + stream point per cell
+        assert "stream" in output and "batch" in output  # the mode column
 
     def test_zero_failure_point_reported_as_bound(self, tmp_path, capsys):
         store = self._store(tmp_path)

@@ -8,15 +8,21 @@ backend must satisfy on every shot:
 * the defect pairing is a *perfect* matching (each defect matched exactly
   once);
 * the matching weight realised on the decoding graph never beats the
-  reference MWPM optimum — and equals it for the exact decoders.
+  reference MWPM optimum — and equals it for the exact decoders;
+* pushing the same syndrome round by round through the streaming protocol
+  (``begin`` / ``push_round`` / ``finalize``) yields an outcome identical —
+  matching weight and correction — to the backend's own batch decode.
 """
 
 from __future__ import annotations
+
+from collections import Counter
 
 import pytest
 
 from repro.api import available_decoders, get_decoder
 from repro.graphs import (
+    Syndrome,
     SyndromeSampler,
     circuit_level_noise,
     code_capacity_noise,
@@ -26,6 +32,7 @@ from repro.graphs import (
 )
 from repro.graphs.syndrome import matching_weight
 from repro.matching import ReferenceDecoder
+from repro.stream import get_streaming_decoder
 
 #: Decoders guaranteed to realise the exact minimum-weight perfect matching.
 EXACT_DECODERS = {"micro-blossom", "micro-blossom-batch", "parity-blossom", "reference"}
@@ -98,3 +105,66 @@ def test_decode_detailed_correction_matches_decode(conformance_case, name):
             f"{name} on {family}"
         )
         assert outcome.defect_count == syndrome.defect_count
+
+
+def _stream_decode(session, graph, syndrome):
+    """Push a syndrome round by round and return (outcome, push counters)."""
+    session.begin(graph, rounds_hint=graph.num_layers)
+    pushes = [
+        session.push_round(round_defects)
+        for round_defects in syndrome.defects_by_layer(graph)
+    ]
+    return session.finalize(), pushes
+
+
+@pytest.mark.parametrize("name", sorted(available_decoders()))
+def test_streamed_equals_batch_for_every_backend(conformance_case, name):
+    """Round-pushed decoding is exactness-preserving on every backend.
+
+    The acceptance contract of the streaming subsystem: for each registered
+    decoder, pushing rounds one at a time yields a ``DecodeOutcome`` whose
+    matching weight and correction are identical to batch ``decode`` on the
+    same syndrome, across every noise family of the seeded grid.
+    """
+    family, graph, syndromes, _ = conformance_case
+    batch = get_decoder(name, graph)
+    stream = get_streaming_decoder(name, graph)
+    for syndrome in syndromes:
+        label = f"{name} on {family} defects={syndrome.defects}"
+        outcome, pushes = _stream_decode(stream, graph, syndrome)
+        assert all(isinstance(push, Counter) for push in pushes)
+        batch_outcome = batch.decode_detailed(syndrome)
+        assert outcome.correction_edges(graph) == batch_outcome.correction_edges(
+            graph
+        ), label
+        if outcome.result is not None and batch_outcome.result is not None:
+            assert outcome.result.weight == batch_outcome.result.weight, label
+        assert outcome.defect_count == syndrome.defect_count
+
+
+@pytest.mark.parametrize("name", sorted(available_decoders()))
+def test_streaming_zero_defect_and_empty_round_fast_paths(name):
+    """Empty rounds cost (nearly) nothing and zero-defect streams are exact."""
+    graph = surface_code_decoding_graph(3, phenomenological_noise(0.04))
+    stream = get_streaming_decoder(name, graph)
+    batch = get_decoder(name, graph)
+
+    # an all-empty stream decodes to the empty matching / empty correction
+    empty = Syndrome(defects=())
+    outcome, _ = _stream_decode(stream, graph, empty)
+    assert outcome.correction_edges(graph) == batch.decode_to_correction(empty)
+    assert outcome.correction_edges(graph) == set()
+    assert outcome.weight == 0
+
+    # a syndrome whose defects sit in the last round only: the leading empty
+    # rounds are pure loads, and the streamed outcome still matches batch
+    last_layer = graph.num_layers - 1
+    defect = next(
+        v for v in graph.vertices_in_layer(last_layer) if not graph.is_virtual(v)
+    )
+    syndrome = Syndrome(defects=(defect,))
+    outcome, pushes = _stream_decode(stream, graph, syndrome)
+    assert outcome.correction_edges(graph) == batch.decode_to_correction(syndrome)
+    # every round before the defect's contributes no primal/dual work
+    for push in pushes[:-1]:
+        assert push.get("instr_find_obstacle", 0) == 0, name
