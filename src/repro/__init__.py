@@ -19,10 +19,14 @@ latency.  This package provides:
 * a first-class streaming decode subsystem — the incremental round-push
   protocol, sliding-window adapters for every backend, and the
   continuous-stream evaluation engine (:mod:`repro.stream`,
-  :class:`repro.evaluation.StreamEngine`, ``docs/streaming.md``).
+  :class:`repro.evaluation.StreamEngine`, ``docs/streaming.md``);
+* an asynchronous decode service with dynamic micro-batching, an LRU of
+  reusable sessions, bounded-queue backpressure and a load-replay engine
+  (:mod:`repro.service`, :class:`repro.evaluation.ServiceLoadEngine`,
+  ``docs/service.md``).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import api, graphs
 from .api import (

@@ -24,6 +24,7 @@ Quickstart::
 # NOTE: ``.outcome`` must be imported before any module that (transitively)
 # imports the decoder packages, because those packages import
 # ``repro.api.outcome`` themselves.
+from .hashing import canonical_json, content_hash, stable_seed
 from .outcome import DecodeOutcome
 from .protocol import Decoder, StreamingDecoder
 from .config import (
@@ -48,6 +49,9 @@ from .session import DecoderSession
 from .batch import BatchOutcome, decode_batch
 
 __all__ = [
+    "canonical_json",
+    "content_hash",
+    "stable_seed",
     "DecodeOutcome",
     "Decoder",
     "StreamingDecoder",

@@ -95,6 +95,11 @@ def chunk_evenly(syndromes: Sequence[Syndrome], pieces: int) -> list[list[Syndro
 
     Order-preserving: concatenating the chunks reproduces the input.  Shared
     by :func:`decode_batch` and the Monte-Carlo engine's worker fan-out.
+
+    >>> chunk_evenly([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    >>> chunk_evenly([1, 2], 8)
+    [[1], [2]]
     """
     pieces = max(1, min(pieces, len(syndromes)))
     size, remainder = divmod(len(syndromes), pieces)
@@ -118,6 +123,13 @@ def decode_batch(
 
     ``workers > 1`` fans the batch out over a process pool; outcome order
     always matches the input order and equals the sequential result exactly.
+
+    >>> from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+    >>> graph = surface_code_decoding_graph(3, circuit_level_noise(0.01))
+    >>> syndromes = SyndromeSampler(graph, seed=2).sample_batch(4)
+    >>> batch = decode_batch(graph, "union-find", syndromes)
+    >>> batch.num_shots, len(batch.weights)
+    (4, 4)
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")

@@ -15,6 +15,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import asdict, dataclass
 
+from .hashing import content_hash
+
 #: Default internal dual scale (half-weight units).  Mirrors
 #: :data:`repro.core.dual.DEFAULT_DUAL_SCALE`, which cannot be imported here
 #: without a circular import; ``tests/test_api.py`` asserts they stay equal.
@@ -23,7 +25,13 @@ DEFAULT_DUAL_SCALE = 2
 
 @dataclass(frozen=True)
 class DecoderConfig:
-    """Base class of all decoder configurations."""
+    """Base class of all decoder configurations.
+
+    >>> MicroBlossomConfig().to_kwargs()
+    {'enable_prematching': True, 'stream': True, 'scale': 2}
+    >>> MicroBlossomConfig().replace(stream=False).stream
+    False
+    """
 
     def to_kwargs(self) -> dict:
         """Constructor keyword arguments for the backend."""
@@ -32,6 +40,22 @@ class DecoderConfig:
     def replace(self, **changes) -> "DecoderConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **changes)
+
+    def config_hash(self) -> str:
+        """Stable 16-hex-digit content hash of this configuration.
+
+        Covers the concrete config class and every field, so two configs
+        hash equally exactly when they would build identical decoders.  The
+        decode service keys its LRU of reusable sessions by
+        ``(code, decoder, config_hash)`` (see :mod:`repro.service`), and the
+        hash is stable across processes — unlike ``hash(config)``.
+
+        >>> MicroBlossomConfig().config_hash() == MicroBlossomConfig().config_hash()
+        True
+        >>> MicroBlossomConfig().config_hash() != MicroBlossomConfig(scale=4).config_hash()
+        True
+        """
+        return content_hash({"config": type(self).__name__, "fields": asdict(self)})
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,11 @@ def counter_delta(before: Counter, *sources) -> Counter:
 
     Zero entries are dropped so the delta of a reused engine is identical to
     the counters of a freshly-built one.
+
+    >>> counter_delta(Counter(a=1), Counter(a=3, b=2))
+    Counter({'a': 2, 'b': 2})
+    >>> counter_delta(Counter(a=1), Counter(a=1))
+    Counter()
     """
     after: Counter = Counter()
     for source in sources:

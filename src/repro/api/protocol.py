@@ -25,6 +25,14 @@ class Decoder(Protocol):
     the physical correction (decoding-graph edge indices), and
     ``decode_detailed`` the full :class:`~repro.api.outcome.DecodeOutcome`
     with the operation counts consumed by the latency models.
+
+    The protocol is ``runtime_checkable``:
+
+    >>> from repro.api import get_decoder
+    >>> from repro.graphs import circuit_level_noise, surface_code_decoding_graph
+    >>> graph = surface_code_decoding_graph(3, circuit_level_noise(0.01))
+    >>> isinstance(get_decoder("union-find", graph), Decoder)
+    True
     """
 
     #: Stable registry-style identifier of the backend.

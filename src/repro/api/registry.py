@@ -111,12 +111,24 @@ def unregister_decoder(name: str) -> None:
 
 
 def available_decoders() -> tuple[str, ...]:
-    """Sorted names of every registered decoder."""
+    """Sorted names of every registered decoder.
+
+    >>> available_decoders()
+    ('micro-blossom', 'micro-blossom-batch', 'parity-blossom', 'reference', 'union-find')
+    """
     return tuple(sorted(_REGISTRY))
 
 
 def decoder_spec(name: str) -> DecoderSpec:
-    """Look up a registry entry, raising :class:`UnknownDecoderError`."""
+    """Look up a registry entry, raising :class:`UnknownDecoderError`.
+
+    >>> decoder_spec("union-find").config_cls.__name__
+    'UnionFindConfig'
+    >>> decoder_spec("no-such-decoder")
+    Traceback (most recent call last):
+        ...
+    repro.api.registry.UnknownDecoderError: "unknown decoder 'no-such-decoder'; ..."
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -126,7 +138,13 @@ def decoder_spec(name: str) -> DecoderSpec:
 
 
 def decoder_capabilities(name: str) -> DecoderCapabilities:
-    """The capability flags of a registered decoder."""
+    """The capability flags of a registered decoder.
+
+    >>> decoder_capabilities("micro-blossom").native_streaming
+    True
+    >>> decoder_capabilities("reference").timing_model
+    False
+    """
     return decoder_spec(name).capabilities
 
 
@@ -139,6 +157,11 @@ def get_decoder(
 
     ``config`` must be an instance of the entry's config class (the entry's
     default configuration is used when omitted).
+
+    >>> from repro.graphs import circuit_level_noise, surface_code_decoding_graph
+    >>> graph = surface_code_decoding_graph(3, circuit_level_noise(0.01))
+    >>> get_decoder("union-find", graph).name
+    'union-find'
     """
     spec = decoder_spec(name)
     if config is None:

@@ -31,6 +31,16 @@ class DecoderSession:
     ``decode_detailed``/``decode_to_correction``/``decode_batch`` paths).
     ``reset()`` returns the session to its freshly-built state; decoding
     after a reset yields matchings identical to a brand-new decoder.
+
+    >>> from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+    >>> graph = surface_code_decoding_graph(3, circuit_level_noise(0.01))
+    >>> session = DecoderSession(graph, "micro-blossom")
+    >>> outcome = session.decode_detailed(SyndromeSampler(graph, seed=1).sample())
+    >>> outcome.is_exact, session.shots
+    (True, 1)
+    >>> session.reset()
+    >>> session.shots
+    0
     """
 
     def __init__(

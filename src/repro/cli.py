@@ -13,7 +13,11 @@ The CLI exposes the most common workflows without writing any Python:
 * ``sweep``      — declarative, resumable (d × noise × p × decoder ×
   streaming) sweeps with an on-disk result store and a ``BENCH_sweep.json``
   exporter (``run`` / ``resume`` / ``report`` / ``export-bench``, see
-  ``docs/sweeps.md``).
+  ``docs/sweeps.md``);
+* ``serve-bench`` — replay a seed-stable synthetic request trace through the
+  micro-batching :class:`repro.service.DecodeService` and emit the
+  schema-validated ``BENCH_service.json`` (throughput, queue-delay and
+  end-to-end latency percentiles, batch-size histogram; ``docs/service.md``).
 
 ``accuracy`` and ``latency`` run on the sharded
 :class:`repro.evaluation.MonteCarloEngine`, ``stream`` on the
@@ -36,6 +40,7 @@ from .api import available_decoders, decoder_spec, get_decoder
 from .evaluation import (
     DECODERS_WITH_TIMING_MODELS,
     MonteCarloEngine,
+    ServiceLoadEngine,
     StreamEngine,
     amdahl_profile,
     effective_error_grid,
@@ -49,6 +54,14 @@ from .evaluation import (
 )
 from .graphs import SyndromeSampler, noise_model_by_name, surface_code_decoding_graph
 from .matching import ReferenceDecoder
+from .service import (
+    SMOKE_TRACE,
+    ServiceBenchSchemaError,
+    TraceSpec,
+    make_trace,
+    service_bench_document,
+    write_service_bench,
+)
 from .sweeps import (
     SMOKE_SPEC,
     BenchSchemaError,
@@ -291,6 +304,71 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_store(export, required=True)
     export.add_argument("--output", default="BENCH_sweep.json")
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="replay a synthetic request trace through the decode service "
+        "and emit BENCH_service.json (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the pinned CI smoke trace instead of flags/--trace",
+    )
+    serve.add_argument("--trace", default=None, help="JSON trace spec file")
+    serve.add_argument("--name", default="trace")
+    serve.add_argument("--requests", type=int, default=256)
+    serve.add_argument("--distances", default="3,5", help="comma-separated odd distances")
+    serve.add_argument("--error-rates", default="0.02", help="comma-separated rates")
+    serve.add_argument(
+        "--decoders", default="micro-blossom", help="comma-separated registry names"
+    )
+    serve.add_argument(
+        "--noise-models", default="circuit_level", help="comma-separated noise names"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--arrival",
+        choices=("open", "closed"),
+        default="open",
+        help="open loop (scheduled arrivals) or closed loop (N clients)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop Poisson arrival rate in requests/sec "
+        "(default: back-to-back)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="closed-loop concurrent callers"
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch size flush bound"
+    )
+    serve.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=1000.0,
+        help="micro-batch deadline flush bound (microseconds)",
+    )
+    serve.add_argument("--queue-capacity", type=int, default=1024)
+    serve.add_argument(
+        "--max-sessions", type=int, default=8, help="LRU bound on cached sessions"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("block", "shed"),
+        default="block",
+        help="overload policy at a full admission queue",
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the direct-decode bit-identity check",
+    )
+    serve.add_argument("--output", default="BENCH_service.json")
     return parser
 
 
@@ -598,6 +676,83 @@ def _command_sweep_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_trace_from_args(args: argparse.Namespace) -> TraceSpec:
+    if args.smoke:
+        return SMOKE_TRACE
+    if args.trace:
+        return TraceSpec.from_file(args.trace)
+    return make_trace(
+        args.name,
+        _parse_list(args.distances, int),
+        _parse_list(args.error_rates, float),
+        _parse_list(args.decoders, str),
+        args.requests,
+        noise_models=_parse_list(args.noise_models, str),
+        seed=args.seed,
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        clients=args.clients,
+    )
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    trace = _serve_trace_from_args(args)
+    engine = ServiceLoadEngine(
+        trace,
+        workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_wait_seconds=args.max_wait_us * 1e-6,
+        queue_capacity=args.queue_capacity,
+        max_sessions=args.max_sessions,
+        overload_policy=args.policy,
+    )
+    result = engine.run(verify_identity=not args.no_verify)
+    print(
+        f"trace {trace.name!r} [{trace.trace_hash()}]: "
+        f"{result.requests} requests ({result.completed} completed, "
+        f"{result.shed} shed) in {result.elapsed_seconds:.2f}s "
+        f"= {result.throughput_rps:.0f} req/s"
+    )
+    print(
+        f"queue_delay_us p50={result.queue_delay.percentile(50) * 1e6:.1f} "
+        f"p99={result.queue_delay.percentile(99) * 1e6:.1f}  "
+        f"latency_us p50={result.latency.percentile(50) * 1e6:.1f} "
+        f"p99={result.latency.percentile(99) * 1e6:.1f}"
+    )
+    sessions = result.session_stats
+    print(
+        f"batches={result.batches} mean_batch_size={result.mean_batch_size:.2f} "
+        f"sessions hits={sessions.get('hits', 0)} "
+        f"misses={sessions.get('misses', 0)} "
+        f"evictions={sessions.get('evictions', 0)}"
+    )
+    if result.evaluated:
+        print(
+            f"logical_error_rate={result.logical_error_rate:.4g} "
+            f"({result.errors}/{result.evaluated}) "
+            f"outcome_digest={result.outcome_digest}"
+        )
+    if not args.no_verify:
+        print(
+            f"identity: {result.identity_checked} checked, "
+            f"{result.identity_mismatches} mismatches"
+        )
+    try:
+        path = write_service_bench(service_bench_document(trace, result), args.output)
+    except ServiceBenchSchemaError as error:
+        print(f"BENCH_service schema violation: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    if result.identity_mismatches:
+        print(
+            f"service outcomes diverged from direct decodes "
+            f"({result.identity_mismatches} mismatches)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     handlers = {
         "run": _command_sweep_run,
@@ -626,6 +781,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "latency": _command_latency,
         "stream": _command_stream,
         "sweep": _command_sweep,
+        "serve-bench": _command_serve_bench,
     }
     return handlers[args.command](args)
 

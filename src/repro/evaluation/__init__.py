@@ -55,6 +55,19 @@ from .stream import (
     stream_latency_fn,
 )
 
+#: Service-layer exports resolved lazily (PEP 562): ``service_load`` imports
+#: :mod:`repro.service`, which itself imports :mod:`repro.evaluation.engine`
+#: — importing it eagerly here would create a package-initialisation cycle.
+_SERVICE_EXPORTS = ("ServiceLoadEngine", "ServiceLoadResult")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from . import service_load
+
+        return getattr(service_load, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "DECODERS_WITH_TIMING_MODELS",
     "DEFAULT_SHARD_SIZE",
@@ -100,4 +113,6 @@ __all__ = [
     "StreamEngineResult",
     "StreamShardResult",
     "stream_latency_fn",
+    "ServiceLoadEngine",
+    "ServiceLoadResult",
 ]

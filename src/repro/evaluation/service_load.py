@@ -1,0 +1,254 @@
+"""Service load evaluation: replay synthetic request traces, measure the tail.
+
+:class:`ServiceLoadEngine` is the service-layer sibling of
+:class:`~repro.evaluation.engine.MonteCarloEngine` and
+:class:`~repro.evaluation.stream.StreamEngine`: it drives a
+:class:`repro.service.DecodeService` with the seed-stable request trace of a
+:class:`repro.service.TraceSpec` and reports what a capacity planner needs —
+request throughput, queue-delay and end-to-end latency percentiles, the
+realised micro-batch size histogram, session-cache effectiveness, and
+load-shed counts.
+
+Two determinism layers coexist deliberately:
+
+* **Outcomes are worker-independent.**  Which syndrome each request carries
+  and what its decode returns are pure functions of the trace spec — decoder
+  sessions are bit-identical under reuse, so concurrency, batching and
+  completion order cannot change any outcome.
+  :attr:`ServiceLoadResult.outcome_digest` hashes every per-request outcome
+  in request order; equal digests across worker counts are pinned by
+  ``tests/test_service.py``.
+* **Timings are measurements.**  Throughput, queue delay, latency and batch
+  sizes are wall-clock observations of *this* machine under *this*
+  configuration — exactly what ``BENCH_service.json`` tracks across commits
+  (like ``shots_per_second`` in ``BENCH_sweep.json``), and exactly what must
+  not be part of any bit-identity contract.
+
+With ``verify_identity=True`` every response is additionally checked
+bit-identical (correction edge set, matching weight, exactness) against a
+direct ``decode_detailed`` on a freshly-built decoder — the acceptance gate
+CI runs in the smoke benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..api.hashing import content_hash
+from ..api.registry import get_decoder
+from .engine import LatencyHistogram
+
+#: Service imports happen lazily at engine construction so that importing
+#: :mod:`repro.evaluation` never has to initialise the service subsystem
+#: (and vice versa — see the lazy re-export in ``repro/evaluation/__init__``).
+
+
+@dataclass
+class ServiceLoadResult:
+    """Everything one trace replay measured.
+
+    The deterministic part (``requests``, ``errors``, ``outcome_digest``) is
+    a pure function of the trace spec; all timing fields are machine- and
+    run-dependent measurements.
+    """
+
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    evaluated: int
+    elapsed_seconds: float
+    queue_delay: LatencyHistogram
+    latency: LatencyHistogram
+    batch_sizes: Counter = field(default_factory=Counter)
+    batches: int = 0
+    session_stats: dict = field(default_factory=dict)
+    identity_checked: int = 0
+    identity_mismatches: int = 0
+    outcome_digest: str = ""
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock replay time."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    @property
+    def logical_error_rate(self) -> float:
+        """Logical errors per ground-truth-carrying completed request."""
+        return self.errors / self.evaluated if self.evaluated else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(self.batch_sizes.values())
+        if not total:
+            return 0.0
+        return sum(size * count for size, count in self.batch_sizes.items()) / total
+
+
+class ServiceLoadEngine:
+    """Replay a seed-stable synthetic trace through a decode service.
+
+    Service sizing (``workers``, ``max_batch_size``, ``max_wait_seconds``,
+    ``queue_capacity``, ``max_sessions``, ``overload_policy``) is forwarded
+    to the :class:`repro.service.DecodeService` built per :meth:`run`.
+
+    >>> from repro.service import Scenario, TraceSpec
+    >>> spec = TraceSpec("t", (Scenario(3, physical_error_rate=0.02),), requests=6)
+    >>> result = ServiceLoadEngine(spec, workers=2).run()
+    >>> result.completed
+    6
+    >>> result.shed
+    0
+    """
+
+    def __init__(
+        self,
+        trace,
+        *,
+        workers: int = 2,
+        max_batch_size: int = 16,
+        max_wait_seconds: float = 0.001,
+        queue_capacity: int = 1024,
+        max_sessions: int = 8,
+        overload_policy: str = "block",
+    ) -> None:
+        from ..service.trace import TraceSpec  # lazy: avoid import cycles
+
+        if not isinstance(trace, TraceSpec):
+            raise TypeError(f"trace must be a TraceSpec, got {type(trace).__name__}")
+        self.trace = trace
+        self.workers = workers
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self.queue_capacity = queue_capacity
+        self.max_sessions = max_sessions
+        self.overload_policy = overload_policy
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def _replay_open(self, service, requests) -> list:
+        """Open loop: submit on the trace's schedule, ignore completions."""
+        start = time.monotonic()
+        futures = []
+        for traced in requests:
+            delay = traced.arrival_offset_seconds - (time.monotonic() - start)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(service.submit(traced.request))
+        return [future.result() for future in futures]
+
+    def _replay_closed(self, service, requests) -> list:
+        """Closed loop: ``clients`` callers, each one request in flight."""
+        responses: list = [None] * len(requests)
+        cursor = iter(range(len(requests)))
+        cursor_lock = threading.Lock()
+
+        def client() -> None:
+            while True:
+                with cursor_lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                responses[index] = service.submit(requests[index].request).result()
+                if self.trace.think_seconds > 0:
+                    time.sleep(self.trace.think_seconds)
+
+        threads = [
+            threading.Thread(target=client, name=f"load-client-{i}")
+            for i in range(self.trace.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return responses
+
+    def run(self, verify_identity: bool = False) -> ServiceLoadResult:
+        """Expand the trace, replay it, and aggregate the measurements."""
+        from ..service.service import DecodeService
+        from ..service.trace import generate_trace
+
+        trace = generate_trace(self.trace)
+        service = DecodeService(
+            max_batch_size=self.max_batch_size,
+            max_wait_seconds=self.max_wait_seconds,
+            queue_capacity=self.queue_capacity,
+            workers=self.workers,
+            max_sessions=self.max_sessions,
+            overload_policy=self.overload_policy,
+        )
+        with service:
+            started = time.perf_counter()
+            if self.trace.arrival == "closed":
+                responses = self._replay_closed(service, trace.requests)
+            else:
+                responses = self._replay_open(service, trace.requests)
+            elapsed = time.perf_counter() - started
+        stats = service.stats
+        result = ServiceLoadResult(
+            requests=len(trace.requests),
+            completed=sum(1 for r in responses if r.ok),
+            shed=sum(1 for r in responses if not r.ok),
+            errors=0,
+            evaluated=0,
+            elapsed_seconds=elapsed,
+            queue_delay=stats.queue_delay,
+            latency=stats.latency,
+            batch_sizes=Counter(stats.batch_sizes),
+            batches=stats.batches,
+            session_stats=service.stats_snapshot()["sessions"],
+        )
+        self._evaluate_outcomes(trace, responses, result)
+        if verify_identity:
+            self._verify_identity(trace, responses, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # outcome evaluation
+    # ------------------------------------------------------------------
+    def _evaluate_outcomes(self, trace, responses, result: ServiceLoadResult) -> None:
+        """Count logical errors and fold outcomes into the order-stable digest."""
+        records = []
+        for traced, response in zip(trace.requests, responses):
+            if not response.ok:
+                records.append(f"{traced.index}:shed")
+                continue
+            graph = trace.graphs[traced.scenario_index]
+            syndrome = traced.request.syndrome
+            correction = sorted(response.outcome.correction_edges(graph))
+            record = f"{traced.index}:ok:{correction}:w={response.outcome.weight}"
+            if syndrome.logical_flip is not None:
+                result.evaluated += 1
+                error = graph.crosses_observable(set(correction)) != syndrome.logical_flip
+                if error:
+                    result.errors += 1
+                record += f":err={int(error)}"
+            records.append(record)
+        result.outcome_digest = content_hash({"outcomes": records})
+
+    def _verify_identity(self, trace, responses, result: ServiceLoadResult) -> None:
+        """Re-decode every request directly and compare bit for bit."""
+        decoders: dict[int, object] = {}
+        for traced, response in zip(trace.requests, responses):
+            if not response.ok:
+                continue
+            index = traced.scenario_index
+            if index not in decoders:
+                key = traced.request.session
+                decoders[index] = get_decoder(key.decoder, trace.graphs[index], key.config)
+            direct = decoders[index].decode_detailed(traced.request.syndrome)
+            graph = trace.graphs[index]
+            result.identity_checked += 1
+            if (
+                direct.correction_edges(graph)
+                != response.outcome.correction_edges(graph)
+                or direct.weight != response.outcome.weight
+                or direct.is_exact != response.outcome.is_exact
+            ):
+                result.identity_mismatches += 1

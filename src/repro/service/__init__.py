@@ -1,0 +1,106 @@
+"""Asynchronous decode service with dynamic micro-batching.
+
+Every entry point built in PRs 1–4 — the CLI, the Monte-Carlo engines, the
+streaming adapters — assumes one offline caller that owns its decoder.  This
+package adds the missing production layer: a front end that serves *many
+concurrent callers* by coalescing their single-shot requests onto the batched
+machinery underneath, trading a bounded queueing delay for amortised
+per-request cost (the pLUTo argument from PAPERS.md, applied to decoding):
+
+* :class:`DecodeService` — bounded-queue admission with a configurable
+  overload policy (block or load-shed), a dynamic
+  :class:`~repro.service.batcher.MicroBatcher` (flush on batch size or
+  deadline, whichever first), an LRU
+  :class:`~repro.service.cache.SessionCache` of reusable
+  :class:`repro.api.DecoderSession`\\ s keyed by
+  ``(code, noise, decoder, config-hash)``, and a worker pool the coalesced
+  batches fan out across.  Results are bit-identical to direct decoding.
+* :class:`~repro.service.service.ServiceStream` — long-lived streaming
+  connections (``begin`` / ``push_round`` / ``finalize``) multiplexed through
+  the same scheduler and backpressure domain.
+* :class:`TraceSpec` / :func:`generate_trace` — seed-stable synthetic request
+  traces (open/closed-loop arrivals, weighted scenario mixes) replayed by
+  :class:`repro.evaluation.ServiceLoadEngine`.
+* :func:`service_bench_document` / :func:`validate_service_bench` — the
+  schema-validated ``BENCH_service.json`` CI publishes per commit
+  (``python -m repro serve-bench``).
+
+Quickstart (see ``docs/service.md`` for the full tour)::
+
+    from repro.service import CodeSpec, DecodeRequest, DecodeService, SessionKey
+
+    key = SessionKey(CodeSpec(distance=5, physical_error_rate=0.01))
+    with DecodeService(workers=4, max_batch_size=32) as service:
+        future = service.submit(DecodeRequest(key, syndrome))
+        response = future.result()       # .outcome == direct decode_detailed
+"""
+
+from .batcher import Batch, MicroBatcher
+from .bench import (
+    SERVICE_BENCH_SCHEMA_VERSION,
+    ServiceBenchSchemaError,
+    service_bench_document,
+    validate_service_bench,
+    write_service_bench,
+)
+from .cache import SessionCache, SessionCacheStats, SessionEntry, build_session
+from .request import (
+    STATUS_OK,
+    STATUS_SHED,
+    CodeSpec,
+    DecodeRequest,
+    DecodeResponse,
+    SessionKey,
+)
+from .service import (
+    OVERLOAD_POLICIES,
+    DecodeService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceStats,
+    ServiceStream,
+    service_histogram,
+)
+from .trace import (
+    SMOKE_TRACE,
+    Scenario,
+    Trace,
+    TracedRequest,
+    TraceSpec,
+    generate_trace,
+    make_trace,
+)
+
+__all__ = [
+    "Batch",
+    "MicroBatcher",
+    "SERVICE_BENCH_SCHEMA_VERSION",
+    "ServiceBenchSchemaError",
+    "service_bench_document",
+    "validate_service_bench",
+    "write_service_bench",
+    "SessionCache",
+    "SessionCacheStats",
+    "SessionEntry",
+    "build_session",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "CodeSpec",
+    "DecodeRequest",
+    "DecodeResponse",
+    "SessionKey",
+    "OVERLOAD_POLICIES",
+    "DecodeService",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "ServiceStream",
+    "service_histogram",
+    "SMOKE_TRACE",
+    "Scenario",
+    "Trace",
+    "TracedRequest",
+    "TraceSpec",
+    "generate_trace",
+    "make_trace",
+]

@@ -1,0 +1,230 @@
+"""``BENCH_service.json`` — the service-layer performance trajectory.
+
+CI's ``perf-trajectory`` job replays the pinned smoke trace
+(:data:`repro.service.SMOKE_TRACE`) through the decode service on every push
+and publishes one JSON document per commit: request throughput, queue-delay
+and end-to-end latency percentiles, the realised micro-batch size histogram,
+session-cache effectiveness and the bit-identity verdict against direct
+decodes.  Consecutive artifacts form the service trajectory, the
+front-end counterpart of ``BENCH_sweep.json`` (:mod:`repro.sweeps.bench`):
+a scheduling or batching regression shows up as a latency/throughput shift
+at identical, seed-pinned work.
+
+:func:`validate_service_bench` is the schema gate; the CLI's ``serve-bench``
+validates before writing and CI fails on any violation (or on a non-zero
+identity mismatch count).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..evaluation.engine import LatencyHistogram
+
+#: Version of the BENCH_service document layout; bump on breaking changes.
+SERVICE_BENCH_SCHEMA_VERSION = 1
+
+
+class ServiceBenchSchemaError(ValueError):
+    """Raised when a BENCH_service document violates the published schema."""
+
+
+def _histogram_entry(histogram: LatencyHistogram) -> dict:
+    return {
+        "count": histogram.count,
+        "mean_us": histogram.mean * 1e6,
+        "p50_us": histogram.percentile(50) * 1e6,
+        "p99_us": histogram.percentile(99) * 1e6,
+        "min_us": (0.0 if histogram.count == 0 else histogram.min_seconds * 1e6),
+        "max_us": histogram.max_seconds * 1e6,
+    }
+
+
+def service_bench_document(
+    trace,
+    result,
+    *,
+    commit: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Build the BENCH_service document for one load-engine run.
+
+    ``trace`` is the :class:`~repro.service.trace.TraceSpec` the
+    :class:`repro.evaluation.ServiceLoadEngine` replayed, ``result`` the
+    :class:`repro.evaluation.ServiceLoadResult` it returned; the document
+    embeds the trace (with its content hash) next to the measurements.
+    """
+    # Lazy import: repro.sweeps pulls the evaluation experiment stack, which
+    # a service-only consumer should not pay for at import time.
+    from ..sweeps.bench import current_commit
+
+    return {
+        "schema_version": SERVICE_BENCH_SCHEMA_VERSION,
+        "commit": commit if commit is not None else current_commit(),
+        "timestamp": timestamp
+        if timestamp is not None
+        else datetime.now(timezone.utc).isoformat(),
+        "trace": {"hash": trace.trace_hash(), **trace.to_dict()},
+        "requests": result.requests,
+        "completed": result.completed,
+        "shed": result.shed,
+        "evaluated": result.evaluated,
+        "errors": result.errors,
+        "logical_error_rate": result.logical_error_rate,
+        "elapsed_seconds": result.elapsed_seconds,
+        "throughput_rps": result.throughput_rps,
+        "queue_delay": _histogram_entry(result.queue_delay),
+        "latency": _histogram_entry(result.latency),
+        "batches": result.batches,
+        "mean_batch_size": result.mean_batch_size,
+        "batch_size_histogram": {
+            str(size): count for size, count in sorted(result.batch_sizes.items())
+        },
+        "sessions": dict(result.session_stats),
+        "identity": {
+            "checked": result.identity_checked,
+            "mismatches": result.identity_mismatches,
+        },
+        "outcome_digest": result.outcome_digest,
+    }
+
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceBenchSchemaError(message)
+
+
+def _check_number(value, path: str, low: float | None = None, high: float | None = None) -> None:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{path}: expected a number, got {type(value).__name__}",
+    )
+    if low is not None:
+        _require(value >= low, f"{path}: {value} < {low}")
+    if high is not None:
+        _require(value <= high, f"{path}: {value} > {high}")
+
+
+_HISTOGRAM_KEYS = ("count", "mean_us", "p50_us", "p99_us", "min_us", "max_us")
+_TOP_REQUIRED = (
+    "schema_version",
+    "commit",
+    "timestamp",
+    "trace",
+    "requests",
+    "completed",
+    "shed",
+    "evaluated",
+    "errors",
+    "logical_error_rate",
+    "elapsed_seconds",
+    "throughput_rps",
+    "queue_delay",
+    "latency",
+    "batches",
+    "mean_batch_size",
+    "batch_size_histogram",
+    "sessions",
+    "identity",
+    "outcome_digest",
+)
+
+
+def _check_histogram(entry, path: str) -> None:
+    _require(isinstance(entry, dict), f"{path}: expected an object")
+    for key in _HISTOGRAM_KEYS:
+        _require(key in entry, f"{path}: missing key {key!r}")
+        _check_number(entry[key], f"{path}.{key}", low=0.0)
+
+
+def validate_service_bench(document: dict) -> None:
+    """Validate a BENCH_service document; raises on any schema violation.
+
+    >>> validate_service_bench({})
+    Traceback (most recent call last):
+        ...
+    repro.service.bench.ServiceBenchSchemaError: missing top-level key 'schema_version'
+    """
+    _require(isinstance(document, dict), "document must be a JSON object")
+    for key in _TOP_REQUIRED:
+        _require(key in document, f"missing top-level key {key!r}")
+    _require(
+        document["schema_version"] == SERVICE_BENCH_SCHEMA_VERSION,
+        f"schema_version {document['schema_version']!r} != "
+        f"{SERVICE_BENCH_SCHEMA_VERSION}",
+    )
+    for key in ("commit", "timestamp", "outcome_digest"):
+        _require(
+            isinstance(document[key], str) and document[key],
+            f"{key} must be a non-empty string",
+        )
+    trace = document["trace"]
+    _require(isinstance(trace, dict), "trace must be an object")
+    for key in ("hash", "name", "scenarios", "requests", "seed", "arrival"):
+        _require(key in trace, f"trace: missing key {key!r}")
+    _require(
+        isinstance(trace["scenarios"], list) and trace["scenarios"],
+        "trace.scenarios must be a non-empty array",
+    )
+    _check_number(document["requests"], "requests", low=1)
+    _check_number(document["completed"], "completed", 0, document["requests"])
+    _check_number(document["shed"], "shed", 0, document["requests"])
+    _require(
+        document["completed"] + document["shed"] == document["requests"],
+        "completed + shed must equal requests",
+    )
+    _check_number(document["evaluated"], "evaluated", 0, document["completed"])
+    _check_number(document["errors"], "errors", 0, max(document["evaluated"], 0))
+    _check_number(document["logical_error_rate"], "logical_error_rate", 0.0, 1.0)
+    _check_number(document["elapsed_seconds"], "elapsed_seconds", low=0.0)
+    _check_number(document["throughput_rps"], "throughput_rps", low=0.0)
+    _check_histogram(document["queue_delay"], "queue_delay")
+    _check_histogram(document["latency"], "latency")
+    _check_number(document["batches"], "batches", low=0)
+    _check_number(document["mean_batch_size"], "mean_batch_size", low=0.0)
+    histogram = document["batch_size_histogram"]
+    _require(isinstance(histogram, dict), "batch_size_histogram must be an object")
+    batched_requests = 0
+    for size, count in histogram.items():
+        _require(
+            isinstance(size, str) and size.isdigit() and int(size) >= 1,
+            f"batch_size_histogram: key {size!r} must be a positive-integer string",
+        )
+        _check_number(count, f"batch_size_histogram[{size!r}]", low=1)
+        batched_requests += int(size) * count
+    _require(
+        batched_requests == document["completed"],
+        "batch_size_histogram must account for every completed request",
+    )
+    sessions = document["sessions"]
+    _require(isinstance(sessions, dict), "sessions must be an object")
+    for key in ("hits", "misses", "evictions"):
+        _require(key in sessions, f"sessions: missing key {key!r}")
+        _check_number(sessions[key], f"sessions.{key}", low=0)
+    identity = document["identity"]
+    _require(isinstance(identity, dict), "identity must be an object")
+    for key in ("checked", "mismatches"):
+        _require(key in identity, f"identity: missing key {key!r}")
+        _check_number(identity[key], f"identity.{key}", low=0)
+    _require(
+        identity["mismatches"] <= identity["checked"],
+        "identity.mismatches cannot exceed identity.checked",
+    )
+
+
+def write_service_bench(document: dict, path: str | Path) -> Path:
+    """Validate and write the document (atomic via temp + rename)."""
+    validate_service_bench(document)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    tmp_path.replace(path)
+    return path

@@ -1,0 +1,158 @@
+"""Request/response dataclasses of the decode service.
+
+A service request names *what* to decode (a syndrome) and *with what* (a
+:class:`SessionKey`: code parameters, decoder name, decoder configuration).
+The key is everything the service needs to build — or fetch from its LRU —
+the reusable :class:`repro.api.DecoderSession` that serves the request, and
+its canonical string form doubles as the micro-batcher's coalescing key:
+requests with equal keys are decodable by one session and therefore
+batchable together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.config import DecoderConfig
+from ..api.hashing import content_hash
+from ..api.outcome import DecodeOutcome
+from ..api.registry import decoder_spec
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.noise import noise_model_by_name
+from ..graphs.surface_code import surface_code_decoding_graph
+from ..graphs.syndrome import Syndrome
+
+#: Response status: the request was decoded.
+STATUS_OK = "ok"
+#: Response status: the request was load-shed (bounded queue full under the
+#: ``"shed"`` overload policy) and never reached a decoder.
+STATUS_SHED = "shed"
+
+
+@dataclass(frozen=True)
+class CodeSpec:
+    """The code-and-noise half of a session key.
+
+    Identifies one decoding graph: a rotated surface-code memory experiment
+    of odd ``distance``, under the named noise family at one physical error
+    rate, with an optional explicit number of measurement ``rounds``
+    (defaults to the code distance for 3D noise models).
+
+    >>> code = CodeSpec(distance=3, noise="circuit_level", physical_error_rate=0.02)
+    >>> code.key()
+    'd=3/noise=circuit_level/p=0.02/rounds=default'
+    >>> code.build_graph().metadata["distance"]
+    3
+    """
+
+    distance: int
+    noise: str = "circuit_level"
+    physical_error_rate: float = 0.001
+    rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.distance < 3 or self.distance % 2 == 0:
+            raise ValueError("distance must be odd and >= 3")
+        if not 0.0 < self.physical_error_rate < 1.0:
+            raise ValueError("physical_error_rate must lie in (0, 1)")
+        if self.rounds is not None and self.rounds < 1:
+            raise ValueError("rounds must be >= 1 (or None for the default)")
+
+    def key(self) -> str:
+        """Canonical parameter string (stable across processes)."""
+        rounds = "default" if self.rounds is None else str(self.rounds)
+        return (
+            f"d={self.distance}/noise={self.noise}"
+            f"/p={float(self.physical_error_rate)!r}/rounds={rounds}"
+        )
+
+    def build_graph(self) -> DecodingGraph:
+        """Construct the decoding graph this spec describes."""
+        model = noise_model_by_name(self.noise, self.physical_error_rate)
+        return surface_code_decoding_graph(self.distance, model, rounds=self.rounds)
+
+
+@dataclass(frozen=True)
+class SessionKey:
+    """What the service's session LRU is keyed by.
+
+    ``(code, decoder, config)`` fully determines a
+    :class:`repro.api.DecoderSession`; two requests with equal keys can share
+    one cached session (and hence one micro-batch).  A ``config`` of ``None``
+    is normalised to the decoder's registry default at construction, so
+    explicit-default and omitted configs produce the *same* key.
+
+    >>> key = SessionKey(CodeSpec(3, physical_error_rate=0.02), "union-find")
+    >>> key == SessionKey(CodeSpec(3, physical_error_rate=0.02), "union-find")
+    True
+    >>> key.key().startswith("d=3/noise=circuit_level")
+    True
+    """
+
+    code: CodeSpec
+    decoder: str = "micro-blossom"
+    config: DecoderConfig | None = None
+
+    def __post_init__(self) -> None:
+        spec = decoder_spec(self.decoder)  # fail fast on unknown names
+        config = self.config
+        if config is None:
+            config = spec.make_config()
+        elif not isinstance(config, spec.config_cls):
+            raise TypeError(
+                f"decoder {self.decoder!r} expects a {spec.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        object.__setattr__(self, "config", config)
+
+    @property
+    def config_hash(self) -> str:
+        """Stable content hash of the (normalised) decoder configuration."""
+        return self.config.config_hash()
+
+    def key(self) -> str:
+        """Canonical ``(code, noise, decoder, config-hash)`` string."""
+        return f"{self.code.key()}/decoder={self.decoder}/config={self.config_hash}"
+
+    def key_hash(self) -> str:
+        """16-hex-digit content hash of :meth:`key` (fits in filenames/logs)."""
+        return content_hash({"session": self.key()})
+
+
+@dataclass(frozen=True)
+class DecodeRequest:
+    """One single-shot decode request submitted to the service.
+
+    ``request_id`` is a client-chosen correlator echoed back on the response;
+    the service never interprets it.
+    """
+
+    session: SessionKey
+    syndrome: Syndrome
+    request_id: int = 0
+
+
+@dataclass
+class DecodeResponse:
+    """The service's answer to one :class:`DecodeRequest`.
+
+    ``outcome`` is bit-identical to calling ``decode_detailed`` on a decoder
+    built directly from the request's session key — batching and session
+    reuse never change results (pinned by ``tests/test_service.py``).  The
+    timing fields use the service clock: ``queue_delay_seconds`` is the time
+    from submission until the request's micro-batch started decoding,
+    ``latency_seconds`` the full submission-to-completion time, and
+    ``batch_size`` how many requests shared the coalesced batch.
+    """
+
+    request: DecodeRequest
+    status: str = STATUS_OK
+    outcome: DecodeOutcome | None = None
+    queue_delay_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    batch_size: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was decoded (not shed)."""
+        return self.status == STATUS_OK

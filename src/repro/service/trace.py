@@ -1,0 +1,299 @@
+"""Seed-stable synthetic request traces for service load evaluation.
+
+A :class:`TraceSpec` describes a service workload declaratively: a mix of
+*scenarios* (code distance, noise family, physical error rate, decoder —
+weighted), how many requests to issue, and the arrival process — **open
+loop** (requests arrive on a schedule, optionally Poisson at ``rate_rps``,
+regardless of completions — models independent outside users) or **closed
+loop** (``clients`` concurrent callers, each issuing its next request only
+after the previous one completes — models a fixed worker fleet).
+
+Trace expansion is *seed-stable* in the same sense as sweep expansion
+(:mod:`repro.sweeps.spec`): request ``i``'s scenario assignment, syndrome and
+(open-loop) arrival offset are a pure function of ``(seed, scenarios,
+requests, arrival process)``, derived through
+:func:`repro.api.hashing.stable_seed` — never of wall-clock time, worker
+count, or completion order.  Replaying a trace therefore decodes identical
+syndromes in an identical submission order on every machine, which is what
+makes service benchmarks comparable across commits
+(``BENCH_service.json``) and lets tests pin worker-count independence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..api.hashing import content_hash, stable_seed
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.syndrome import SyndromeSampler
+from .request import CodeSpec, DecodeRequest, SessionKey
+
+#: Supported arrival processes.
+ARRIVAL_PROCESSES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One weighted cell of a trace's workload mix.
+
+    >>> Scenario(distance=3, physical_error_rate=0.02).session_key().decoder
+    'micro-blossom'
+    """
+
+    distance: int
+    noise: str = "circuit_level"
+    physical_error_rate: float = 0.001
+    decoder: str = "micro-blossom"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("scenario weight must be positive")
+
+    def code(self) -> CodeSpec:
+        return CodeSpec(
+            distance=self.distance,
+            noise=self.noise,
+            physical_error_rate=self.physical_error_rate,
+        )
+
+    def session_key(self) -> SessionKey:
+        """The service session key every request of this scenario targets."""
+        return SessionKey(self.code(), self.decoder)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            distance=int(data["distance"]),
+            noise=str(data.get("noise", "circuit_level")),
+            physical_error_rate=float(data.get("physical_error_rate", 0.001)),
+            decoder=str(data.get("decoder", "micro-blossom")),
+            weight=float(data.get("weight", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative description of one synthetic service workload.
+
+    ``rate_rps=None`` in an open-loop trace means *back-to-back* submission
+    (arrival offsets all zero — the service is driven as fast as the client
+    can submit, the throughput-measurement mode); a finite rate draws
+    exponential (Poisson-process) inter-arrival gaps from the trace seed.
+
+    >>> spec = TraceSpec("t", (Scenario(3, physical_error_rate=0.02),), requests=4)
+    >>> len(spec.trace_hash())
+    16
+    >>> spec2 = TraceSpec.from_dict(spec.to_dict())
+    >>> spec2 == spec
+    True
+    """
+
+    name: str
+    scenarios: tuple[Scenario, ...]
+    requests: int
+    seed: int = 0
+    arrival: str = "open"
+    rate_rps: float | None = None
+    clients: int = 4
+    think_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "scenarios",
+            tuple(
+                s if isinstance(s, Scenario) else Scenario.from_dict(s)
+                for s in self.scenarios
+            ),
+        )
+        if not self.name:
+            raise ValueError("trace needs a non-empty name")
+        if not self.scenarios:
+            raise ValueError("trace needs at least one scenario")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(f"arrival must be one of {ARRIVAL_PROCESSES}, got {self.arrival!r}")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive (or None for back-to-back)")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.think_seconds < 0:
+            raise ValueError("think_seconds must be non-negative")
+
+    def trace_hash(self) -> str:
+        """16-hex-digit content hash of the workload-determining fields.
+
+        Excludes the display ``name`` (renaming a trace keeps its identity),
+        mirroring :meth:`repro.sweeps.SweepSpec.spec_hash`.
+        """
+        payload = {
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+            "requests": self.requests,
+            "seed": self.seed,
+            "arrival": self.arrival,
+            "rate_rps": self.rate_rps,
+            "clients": self.clients,
+            "think_seconds": self.think_seconds,
+        }
+        return content_hash(payload)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        # JSON-shaped: scenarios as a list (``asdict`` preserves the tuple).
+        data["scenarios"] = list(data["scenarios"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSpec":
+        return cls(
+            name=str(data["name"]),
+            scenarios=tuple(Scenario.from_dict(s) for s in data["scenarios"]),
+            requests=int(data["requests"]),
+            seed=int(data.get("seed", 0)),
+            arrival=str(data.get("arrival", "open")),
+            rate_rps=None if data.get("rate_rps") is None else float(data["rate_rps"]),
+            clients=int(data.get("clients", 4)),
+            think_seconds=float(data.get("think_seconds", 0.0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TraceSpec":
+        """Load a trace spec from a JSON file (the CLI's ``--trace`` input)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class TracedRequest:
+    """One expanded trace entry: the request plus its scheduled arrival."""
+
+    index: int
+    scenario_index: int
+    request: DecodeRequest
+    #: Scheduled submission offset from the start of the replay (seconds);
+    #: 0.0 for back-to-back and closed-loop traces.
+    arrival_offset_seconds: float
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A fully-expanded trace: requests in submission order, plus the graphs.
+
+    ``graphs[i]`` is the decoding graph of ``spec.scenarios[i]`` — shared by
+    the ground-truth check and the direct-decode identity verifier so they
+    never rebuild per request.
+    """
+
+    spec: TraceSpec
+    requests: tuple[TracedRequest, ...]
+    graphs: tuple[DecodingGraph, ...]
+
+
+def generate_trace(spec: TraceSpec) -> Trace:
+    """Expand a :class:`TraceSpec` into its deterministic request sequence.
+
+    Scenario assignment uses a dedicated RNG stream seeded
+    ``stable_seed(seed, "mix")``; scenario ``i``'s syndromes come from a
+    :class:`~repro.graphs.syndrome.SyndromeSampler` seeded
+    ``stable_seed(seed, f"scenario={i}")`` and are drawn in request order —
+    so the trace is bit-identical across machines and replays.
+
+    >>> trace = generate_trace(
+    ...     TraceSpec("t", (Scenario(3, physical_error_rate=0.02),), requests=3)
+    ... )
+    >>> [tr.request.request_id for tr in trace.requests]
+    [0, 1, 2]
+    """
+    mix_rng = np.random.default_rng(stable_seed(spec.seed, "mix"))
+    weights = np.array([s.weight for s in spec.scenarios], dtype=float)
+    weights /= weights.sum()
+    scenario_indices = mix_rng.choice(len(spec.scenarios), size=spec.requests, p=weights)
+    if spec.arrival == "open" and spec.rate_rps is not None:
+        arrival_rng = np.random.default_rng(stable_seed(spec.seed, "arrivals"))
+        offsets = np.cumsum(arrival_rng.exponential(1.0 / spec.rate_rps, size=spec.requests))
+    else:
+        offsets = np.zeros(spec.requests)
+    graphs = tuple(scenario.code().build_graph() for scenario in spec.scenarios)
+    keys = tuple(scenario.session_key() for scenario in spec.scenarios)
+    samplers = [
+        SyndromeSampler(graph, seed=stable_seed(spec.seed, f"scenario={i}"))
+        for i, graph in enumerate(graphs)
+    ]
+    requests = []
+    for index, scenario_index in enumerate(scenario_indices):
+        scenario_index = int(scenario_index)
+        syndrome = samplers[scenario_index].sample()
+        requests.append(
+            TracedRequest(
+                index=index,
+                scenario_index=scenario_index,
+                request=DecodeRequest(
+                    session=keys[scenario_index],
+                    syndrome=syndrome,
+                    request_id=index,
+                ),
+                arrival_offset_seconds=float(offsets[index]),
+            )
+        )
+    return Trace(spec=spec, requests=tuple(requests), graphs=graphs)
+
+
+def make_trace(
+    name: str,
+    distances: Sequence[int],
+    physical_error_rates: Sequence[float],
+    decoders: Sequence[str],
+    requests: int,
+    *,
+    noise_models: Sequence[str] = ("circuit_level",),
+    **kwargs,
+) -> TraceSpec:
+    """Convenience constructor: the cross product of the axes as scenarios.
+
+    >>> spec = make_trace("grid", [3, 5], [0.02], ["union-find"], requests=8)
+    >>> len(spec.scenarios)
+    2
+    """
+    scenarios = tuple(
+        Scenario(
+            distance=distance,
+            noise=noise,
+            physical_error_rate=rate,
+            decoder=decoder,
+        )
+        for distance in distances
+        for noise in noise_models
+        for rate in physical_error_rates
+        for decoder in decoders
+    )
+    return TraceSpec(name=name, scenarios=scenarios, requests=requests, **kwargs)
+
+
+#: Pinned trace of the CI ``perf-trajectory`` job (``repro serve-bench
+#: --smoke``): a mixed-distance, mixed-decoder open-loop burst, small enough
+#: for a pull-request gate, varied enough that micro-batching, session
+#: caching and the mixed-scenario dispatch path all exercise.  Seeded like
+#: :data:`repro.sweeps.SMOKE_SPEC` so the two CI artifacts stay in step.
+SMOKE_TRACE = TraceSpec(
+    name="ci-smoke",
+    scenarios=(
+        Scenario(distance=3, physical_error_rate=0.02, decoder="micro-blossom"),
+        Scenario(distance=5, physical_error_rate=0.02, decoder="micro-blossom"),
+        Scenario(distance=3, physical_error_rate=0.03, decoder="union-find"),
+        Scenario(distance=5, physical_error_rate=0.03, decoder="union-find"),
+    ),
+    requests=96,
+    seed=2026,
+    arrival="open",
+    rate_rps=None,
+)

@@ -43,6 +43,13 @@ def get_streaming_decoder(
     in a :class:`SlidingWindowAdapter`.  Passing a finite ``window`` forces
     the adapter even for native backends, so the overlapping-window scheme
     can be compared against true round-wise fusion on the same backend.
+
+    >>> from repro.graphs import circuit_level_noise, surface_code_decoding_graph
+    >>> graph = surface_code_decoding_graph(3, circuit_level_noise(0.01))
+    >>> type(get_streaming_decoder("micro-blossom", graph)).__name__  # native
+    'MicroBlossomDecoder'
+    >>> type(get_streaming_decoder("union-find", graph)).__name__     # adapted
+    'SlidingWindowAdapter'
     """
     if window is None and commit_depth is not None:
         raise ValueError("commit_depth requires a finite window")

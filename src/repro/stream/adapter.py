@@ -83,7 +83,18 @@ class _AdapterState:
 
 
 class SlidingWindowAdapter:
-    """Make a batch :class:`~repro.api.protocol.Decoder` streamable."""
+    """Make a batch :class:`~repro.api.protocol.Decoder` streamable.
+
+    >>> from repro.api import get_decoder
+    >>> from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+    >>> graph = surface_code_decoding_graph(3, circuit_level_noise(0.02))
+    >>> adapter = SlidingWindowAdapter(get_decoder("union-find", graph))
+    >>> syndrome, rounds = SyndromeSampler(graph, seed=3).sample_rounds()
+    >>> adapter.begin(graph)
+    >>> costs = [adapter.push_round(r) for r in rounds]
+    >>> adapter.finalize().defect_count == syndrome.defect_count
+    True
+    """
 
     def __init__(
         self,

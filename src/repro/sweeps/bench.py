@@ -163,7 +163,13 @@ _POINT_REQUIRED = (
 
 
 def validate_bench(document: dict) -> None:
-    """Validate a BENCH document; raises :class:`BenchSchemaError` on violation."""
+    """Validate a BENCH document; raises :class:`BenchSchemaError` on violation.
+
+    >>> validate_bench({"schema_version": 2})
+    Traceback (most recent call last):
+        ...
+    repro.sweeps.bench.BenchSchemaError: missing top-level key 'commit'
+    """
     _require(isinstance(document, dict), "document must be a JSON object")
     for key in ("schema_version", "commit", "timestamp", "spec", "points", "fits"):
         _require(key in document, f"missing top-level key {key!r}")

@@ -169,6 +169,14 @@ def run_sweep(
     ``store=None`` uses a throwaway in-memory store (no resumability, same
     code path).  ``clock`` is injectable so tests can pin wall-clock timing
     and assert byte-identical store files.
+
+    >>> from repro.sweeps import SweepSpec
+    >>> spec = SweepSpec("doc", (3,), (0.02,), ("union-find",), shots=16)
+    >>> run = run_sweep(spec)
+    >>> run.completed, run.cached
+    (1, 0)
+    >>> 0.0 <= run.results[0].rate <= 1.0
+    True
     """
     if store is None:
         store = ResultStore(None)

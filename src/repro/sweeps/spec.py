@@ -20,11 +20,12 @@ not invalidate its cached results in a :class:`~repro.sweeps.store.ResultStore`.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Sequence
+
+from ..api.hashing import content_hash, stable_seed
 
 #: Fields of :class:`SweepSpec` that determine Monte-Carlo results and hence
 #: participate in :meth:`SweepSpec.spec_hash`.  The ``streaming`` axis joins
@@ -46,11 +47,17 @@ _HASHED_FIELDS = (
 def derive_point_seed(base_seed: int, key: str) -> int:
     """Seed of the point with parameter ``key`` in a sweep seeded ``base_seed``.
 
-    A 63-bit integer derived via SHA-256, stable across processes and Python
+    A 63-bit integer derived via SHA-256
+    (:func:`repro.api.hashing.stable_seed` — the same primitive the decode
+    service's trace generator uses), stable across processes and Python
     versions (unlike the builtin ``hash``).
+
+    >>> derive_point_seed(0, "d=3/decoder=union-find") < 2**63
+    True
+    >>> derive_point_seed(0, "a") != derive_point_seed(1, "a")
+    True
     """
-    digest = hashlib.sha256(f"{int(base_seed)}:{key}".encode()).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
+    return stable_seed(base_seed, key)
 
 
 @dataclass(frozen=True)
@@ -224,14 +231,24 @@ class SweepSpec:
     # hashing / serialization
     # ------------------------------------------------------------------
     def spec_hash(self) -> str:
-        """16-hex-digit content hash of the result-determining fields."""
+        """16-hex-digit content hash of the result-determining fields.
+
+        Built on :func:`repro.api.hashing.content_hash`, the canonical
+        hashing primitive shared with the decode service's session keys and
+        trace fingerprints.
+
+        >>> spec = SweepSpec("a", (3,), (0.01,), ("union-find",), shots=10)
+        >>> spec.spec_hash() == spec.spec_hash()
+        True
+        >>> len(spec.spec_hash())
+        16
+        """
         payload = {name: getattr(self, name) for name in _HASHED_FIELDS}
         if self.streaming != (False,):
             # Batch-only specs hash exactly as before the axis existed, so
             # pre-axis stores keep serving cache hits.
             payload["streaming"] = self.streaming
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return content_hash(payload)
 
     def to_dict(self) -> dict:
         return asdict(self)

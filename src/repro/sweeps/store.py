@@ -153,6 +153,15 @@ class ResultStore:
     when no persistence was requested); every record still round-trips
     through its JSON line, so the in-memory and on-disk behaviours are
     identical.
+
+    >>> from repro.sweeps import SweepSpec
+    >>> store = ResultStore(None)                      # in-memory
+    >>> spec = SweepSpec("s", (3,), (0.02,), ("union-find",), shots=8)
+    >>> spec_hash = store.ensure_spec(spec)
+    >>> len(store), spec_hash == spec.spec_hash()
+    (0, True)
+    >>> len(store.fingerprint())
+    64
     """
 
     def __init__(self, path: str | Path | None = None) -> None:

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.service import validate_service_bench
 
 
 class TestDecodeCommand:
@@ -387,3 +390,77 @@ class TestSweepCommand:
         )
         output = capsys.readouterr().out
         assert "<=" in output  # rule-of-three upper bound, not 0 +/- 0
+
+
+class TestServeBenchCommand:
+    def test_serve_bench_emits_validated_document(self, tmp_path, capsys):
+        output_path = tmp_path / "BENCH_service.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--requests",
+                "24",
+                "--distances",
+                "3",
+                "--error-rates",
+                "0.02",
+                "--decoders",
+                "union-find",
+                "--workers",
+                "2",
+                "--seed",
+                "3",
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "24 requests (24 completed, 0 shed)" in output
+        assert "identity: 24 checked, 0 mismatches" in output
+        document = json.loads(output_path.read_text())
+        validate_service_bench(document)
+        assert document["identity"]["mismatches"] == 0
+
+    def test_serve_bench_smoke_uses_pinned_trace(self, tmp_path, capsys):
+        output_path = tmp_path / "BENCH_service.json"
+        exit_code = main(
+            ["serve-bench", "--smoke", "--no-verify", "--output", str(output_path)]
+        )
+        assert exit_code == 0
+        document = json.loads(output_path.read_text())
+        assert document["trace"]["name"] == "ci-smoke"
+        assert document["requests"] == 96
+        assert document["identity"]["checked"] == 0  # --no-verify
+
+    def test_serve_bench_accepts_trace_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        trace_path.write_text(
+            json.dumps(
+                {
+                    "name": "file-trace",
+                    "scenarios": [
+                        {
+                            "distance": 3,
+                            "physical_error_rate": 0.02,
+                            "decoder": "union-find",
+                        }
+                    ],
+                    "requests": 8,
+                    "arrival": "closed",
+                    "clients": 2,
+                }
+            )
+        )
+        output_path = tmp_path / "BENCH_service.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--trace",
+                str(trace_path),
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        assert json.loads(output_path.read_text())["trace"]["name"] == "file-trace"
