@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""LUT pre-decoder hit rate and speedup over its fallback (the low-p regime).
+
+At low physical error rates almost every shot carries zero, one or two
+defects — exactly the defect sets the :mod:`repro.lut` lookup table
+precomputes.  This benchmark samples a d=5 circuit-level workload at low p,
+decodes it with ``union-find`` and with ``lut+union-find`` (same syndromes,
+same session), and reports
+
+* the table hit rate (zero-defect shots included — the dedicated fast path),
+* the end-to-end decode-loop speedup of ``lut+union-find`` over its fallback
+  (best of ``--loops`` timed passes per decoder; table construction is a
+  one-time session cost reported separately with its amortization point),
+* bit-identity of every decoded outcome (hit or miss) against the fallback.
+
+The gate asserts the hit rate and speedup floors recorded in
+``docs/paper_map.md``: hit rate >= 0.85 and speedup >= 2x.
+
+Run::
+
+    python benchmarks/bench_lut_hit_rate.py --samples 2000
+    python benchmarks/bench_lut_hit_rate.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.api import get_decoder
+from repro.evaluation import format_rows
+from repro.graphs import SyndromeSampler, circuit_level_noise, surface_code_decoding_graph
+
+MIN_HIT_RATE = 0.85
+MIN_SPEEDUP = 2.0
+
+
+def _decode_loop_seconds(decoder, syndromes, loops: int) -> float:
+    """Best wall-clock of ``loops`` full decode passes (steady-state timing)."""
+    best = float("inf")
+    for _ in range(loops):
+        start = time.perf_counter()
+        for syndrome in syndromes:
+            decoder.decode_detailed(syndrome)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(distance: int, error_rate: float, samples: int, seed: int, loops: int) -> dict:
+    graph = surface_code_decoding_graph(distance, circuit_level_noise(error_rate))
+    syndromes = SyndromeSampler(graph, seed=seed).sample_batch(samples)
+
+    fallback = get_decoder("union-find", graph)
+    build_start = time.perf_counter()
+    lut = get_decoder("lut+union-find", graph)
+    build_seconds = time.perf_counter() - build_start
+
+    # bit-identity on every shot, hit or miss (the conformance contract)
+    for syndrome in syndromes:
+        expected = fallback.decode_detailed(syndrome)
+        got = lut.decode_detailed(syndrome)
+        assert got.correction_edges(graph) == expected.correction_edges(graph)
+        assert got.weight == expected.weight
+
+    lut.reset()
+    fallback_seconds = _decode_loop_seconds(fallback, syndromes, loops)
+    lut_seconds = _decode_loop_seconds(lut, syndromes, loops)
+    hit_rate = lut.hit_rate  # direct decodes: zero-defect shots hit the table
+    speedup = fallback_seconds / lut_seconds
+    amortize_shots = build_seconds / max(
+        fallback_seconds / samples - lut_seconds / samples, 1e-12
+    )
+    return {
+        "samples": samples,
+        "table_entries": lut.table.entries,
+        "table_bytes": lut.table.bytes_resident,
+        "build_seconds": build_seconds,
+        "fallback_seconds": fallback_seconds,
+        "lut_seconds": lut_seconds,
+        "hit_rate": hit_rate,
+        "speedup": speedup,
+        "amortize_shots": amortize_shots,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distance", type=int, default=5)
+    parser.add_argument("--error-rate", type=float, default=0.002)
+    parser.add_argument("--samples", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--loops", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI (600 samples, 2 loops)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.samples, args.loops = 600, 2
+
+    print(
+        f"== LUT pre-decode hit rate (d={args.distance}, p={args.error_rate}, "
+        f"{args.samples} shots) =="
+    )
+    row = run(args.distance, args.error_rate, args.samples, args.seed, args.loops)
+    rows = [
+        {
+            "decoder": "union-find",
+            "seconds": row["fallback_seconds"],
+            "shots_per_s": row["samples"] / row["fallback_seconds"],
+            "speedup": 1.0,
+        },
+        {
+            "decoder": "lut+union-find",
+            "seconds": row["lut_seconds"],
+            "shots_per_s": row["samples"] / row["lut_seconds"],
+            "speedup": row["speedup"],
+        },
+    ]
+    print(format_rows(rows, ["decoder", "seconds", "shots_per_s", "speedup"]))
+    print(
+        f"\ntable: {row['table_entries']} entries, {row['table_bytes']} bytes, "
+        f"built in {row['build_seconds']:.3f}s "
+        f"(amortized after ~{row['amortize_shots']:.0f} shots)"
+    )
+    print(f"hit rate (zero-defect included): {row['hit_rate']:.3f}")
+    print(f"decode-loop speedup over fallback: {row['speedup']:.2f}x")
+    if row["hit_rate"] < MIN_HIT_RATE:
+        raise SystemExit(
+            f"hit rate {row['hit_rate']:.3f} below the {MIN_HIT_RATE} floor"
+        )
+    if row["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(
+            f"speedup {row['speedup']:.2f}x below the {MIN_SPEEDUP}x floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

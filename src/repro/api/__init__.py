@@ -29,6 +29,7 @@ from .outcome import DecodeOutcome
 from .protocol import Decoder, StreamingDecoder
 from .config import (
     DecoderConfig,
+    LUTConfig,
     MicroBlossomConfig,
     ParityBlossomConfig,
     ReferenceConfig,
@@ -58,6 +59,7 @@ __all__ = [
     "DecoderCapabilities",
     "decoder_capabilities",
     "DecoderConfig",
+    "LUTConfig",
     "MicroBlossomConfig",
     "ParityBlossomConfig",
     "ReferenceConfig",

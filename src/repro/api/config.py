@@ -87,3 +87,43 @@ class UnionFindConfig(DecoderConfig):
 @dataclass(frozen=True)
 class ReferenceConfig(DecoderConfig):
     """Configuration of the reference MWPM decoder (no tunables yet)."""
+
+
+#: Default memory budget of a LUT pre-decoder's table (bytes).
+DEFAULT_LUT_BUDGET_BYTES = 8 << 20
+
+
+@dataclass(frozen=True)
+class LUTConfig(DecoderConfig):
+    """Configuration of the table-lookup pre-decoder family (``lut+<fallback>``).
+
+    ``max_defects`` bounds the defect-set sizes precomputed into the table
+    (0 is always present — the dedicated zero-defect fast path), and
+    ``cluster_radius`` restricts two-defect entries to local clusters: pairs
+    at most that many decoding-graph hops apart.  ``memory_budget_bytes``
+    caps the table size (construction stops deterministically at the budget).
+    ``fallback_config`` configures the wrapped backend; ``None`` uses the
+    fallback's registry default, so ``lut+X`` decodes exactly like ``X``.
+
+    >>> LUTConfig().max_defects
+    2
+    >>> LUTConfig(max_defects=1).config_hash() != LUTConfig().config_hash()
+    True
+    """
+
+    max_defects: int = 2
+    cluster_radius: int = 2
+    memory_budget_bytes: int = DEFAULT_LUT_BUDGET_BYTES
+    fallback_config: DecoderConfig | None = None
+
+    def to_kwargs(self) -> dict:
+        """Constructor keyword arguments for :class:`repro.lut.LUTDecoder`.
+
+        Shallow on purpose: :func:`dataclasses.asdict` would recurse into the
+        nested ``fallback_config`` dataclass and hand the factory a plain
+        dict, but the LUT decoder needs the config instance itself.
+        """
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }

@@ -12,12 +12,14 @@ Built-in backends are imported lazily inside their factory functions so that
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..graphs.decoding_graph import DecodingGraph
 from .config import (
     DecoderConfig,
+    LUTConfig,
     MicroBlossomConfig,
     ParityBlossomConfig,
     ReferenceConfig,
@@ -50,6 +52,10 @@ class DecoderCapabilities:
     batch_decode: bool = True
     #: Guaranteed to produce a minimum-weight perfect matching.
     exact: bool = False
+    #: Resolves small defect sets through a precomputed lookup table
+    #: (the ``lut+<fallback>`` family, :mod:`repro.lut`); lookup hits are
+    #: exact by construction and misses fall through to the wrapped backend.
+    lut_predecode: bool = False
 
 
 @dataclass(frozen=True)
@@ -113,8 +119,10 @@ def unregister_decoder(name: str) -> None:
 def available_decoders() -> tuple[str, ...]:
     """Sorted names of every registered decoder.
 
-    >>> available_decoders()
-    ('micro-blossom', 'micro-blossom-batch', 'parity-blossom', 'reference', 'union-find')
+    >>> [n for n in available_decoders() if not n.startswith("lut+")]
+    ['micro-blossom', 'micro-blossom-batch', 'parity-blossom', 'reference', 'union-find']
+    >>> [n[len("lut+"):] for n in available_decoders() if n.startswith("lut+")]
+    ['micro-blossom', 'micro-blossom-batch', 'parity-blossom', 'reference', 'union-find']
     """
     return tuple(sorted(_REGISTRY))
 
@@ -242,3 +250,41 @@ register_decoder(
     "Reference exact MWPM decoder on the dense syndrome graph",
     capabilities=DecoderCapabilities(exact=True),
 )
+
+
+def _build_lut(graph: DecodingGraph, config: DecoderConfig, fallback: str):
+    from ..lut.decoder import LUTDecoder
+
+    return LUTDecoder(graph, fallback, **config.to_kwargs())
+
+
+def _register_lut_family() -> None:
+    """Register ``lut+<fallback>`` for every base backend (see :mod:`repro.lut`).
+
+    The wrapper mirrors the fallback's capability flags — a LUT miss is the
+    fallback path unchanged, so ``lut+X`` streams natively, batch-decodes and
+    is exact exactly when ``X`` is — except ``timing_model``: the published
+    latency models are keyed by base decoder name (paper hardware), not by
+    the software lookup layer.
+    """
+    for base in tuple(_REGISTRY):
+        caps = _REGISTRY[base].capabilities
+        register_decoder(
+            f"lut+{base}",
+            # functools.partial (not a closure) keeps the factory picklable
+            # for the evaluation engine's process-pool workers.
+            functools.partial(_build_lut, fallback=base),
+            LUTConfig,
+            f"Table-lookup pre-decoder over '{base}' "
+            "(exact LUT hits, bit-identical fallback on misses)",
+            capabilities=DecoderCapabilities(
+                native_streaming=caps.native_streaming,
+                timing_model=False,
+                batch_decode=caps.batch_decode,
+                exact=caps.exact,
+                lut_predecode=True,
+            ),
+        )
+
+
+_register_lut_family()

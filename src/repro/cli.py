@@ -58,6 +58,7 @@ from .service import (
     SMOKE_TRACE,
     ServiceBenchSchemaError,
     TraceSpec,
+    cache_comparison_entry,
     make_trace,
     service_bench_document,
     write_service_bench,
@@ -284,6 +285,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="add the streaming axis: run every cell batch AND streamed "
         "(reaction-latency percentiles on the same seeds)",
     )
+    run.add_argument(
+        "--lut",
+        action="store_true",
+        help="add a lut+<decoder> variant of every decoder on the axis "
+        "(LUT hit rate and speedup-vs-fallback land in BENCH_sweep.json)",
+    )
 
     resume = sweep_sub.add_parser(
         "resume",
@@ -368,6 +375,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the direct-decode bit-identity check",
     )
+    serve.add_argument(
+        "--outcome-cache-bytes",
+        type=int,
+        default=0,
+        help="byte budget of the content-addressed outcome cache "
+        "(0 disables it; see docs/lut.md)",
+    )
+    serve.add_argument(
+        "--compare-cache",
+        action="store_true",
+        help="replay the trace twice (outcome cache off, then on) and "
+        "record the pair under cache_comparison; --smoke implies this",
+    )
     serve.add_argument("--output", default="BENCH_service.json")
     return parser
 
@@ -411,13 +431,14 @@ def _command_decoders(_args: argparse.Namespace) -> int:
                 "timing_model": "yes" if caps.timing_model else "no",
                 "batch_decode": "yes" if caps.batch_decode else "no",
                 "exact": "yes" if caps.exact else "no",
+                "lut": "yes" if caps.lut_predecode else "no",
                 "description": spec.description,
             }
         )
     print(
         format_rows(
             rows,
-            ["name", "streaming", "timing_model", "batch_decode", "exact"],
+            ["name", "streaming", "timing_model", "batch_decode", "exact", "lut"],
         )
     )
     for row in rows:
@@ -563,11 +584,16 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         return SMOKE_SPEC
     if args.spec:
         return SweepSpec.from_file(args.spec)
+    decoders = _parse_list(args.decoders, str)
+    if getattr(args, "lut", False):
+        decoders = decoders + tuple(
+            f"lut+{name}" for name in decoders if not name.startswith("lut+")
+        )
     return make_spec(
         args.name,
         _parse_list(args.distances, int),
         _parse_list(args.error_rates, float),
-        _parse_list(args.decoders, str),
+        decoders,
         args.shots,
         noise_models=_parse_list(args.noise_models, str),
         seed=args.seed,
@@ -695,9 +721,19 @@ def _serve_trace_from_args(args: argparse.Namespace) -> TraceSpec:
     )
 
 
-def _command_serve_bench(args: argparse.Namespace) -> int:
-    trace = _serve_trace_from_args(args)
-    engine = ServiceLoadEngine(
+#: Outcome-cache byte budget used by cache comparisons when the user did not
+#: pick one (``serve-bench --smoke`` / ``--compare-cache`` without
+#: ``--outcome-cache-bytes``).
+_DEFAULT_COMPARE_CACHE_BYTES = 4 << 20
+
+
+def _serve_engine(
+    args: argparse.Namespace,
+    trace: TraceSpec,
+    outcome_cache_bytes: int | None,
+    repeats: int = 1,
+) -> ServiceLoadEngine:
+    return ServiceLoadEngine(
         trace,
         workers=args.workers,
         max_batch_size=args.max_batch,
@@ -705,8 +741,32 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         max_sessions=args.max_sessions,
         overload_policy=args.policy,
+        outcome_cache_bytes=outcome_cache_bytes,
+        repeats=repeats,
     )
-    result = engine.run(verify_identity=not args.no_verify)
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    trace = _serve_trace_from_args(args)
+    compare = args.compare_cache or args.smoke
+    cache_bytes = args.outcome_cache_bytes
+    if compare and cache_bytes <= 0:
+        cache_bytes = _DEFAULT_COMPARE_CACHE_BYTES
+    comparison = None
+    if compare:
+        # The same trace, two passes per side (pass 2 re-submits the same
+        # syndromes — the cache's target workload), cache off then on.  The
+        # cache-on run is the primary document (and the identity-gated one —
+        # verifying it proves cached responses equal direct decodes).
+        off_result = _serve_engine(args, trace, None, repeats=2).run()
+        result = _serve_engine(args, trace, cache_bytes, repeats=2).run(
+            verify_identity=not args.no_verify
+        )
+        comparison = cache_comparison_entry(off_result, result)
+    else:
+        result = _serve_engine(
+            args, trace, cache_bytes if cache_bytes > 0 else None
+        ).run(verify_identity=not args.no_verify)
     print(
         f"trace {trace.name!r} [{trace.trace_hash()}]: "
         f"{result.requests} requests ({result.completed} completed, "
@@ -726,6 +786,19 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         f"misses={sessions.get('misses', 0)} "
         f"evictions={sessions.get('evictions', 0)}"
     )
+    if result.outcome_cache.get("enabled"):
+        cache = result.outcome_cache
+        print(
+            f"outcome_cache hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} "
+            f"bytes_resident={cache['bytes_resident']}"
+        )
+    if comparison is not None:
+        print(
+            f"cache_comparison throughput x{comparison['throughput_ratio']:.2f} "
+            f"(off={comparison['off']['throughput_rps']:.0f} req/s, "
+            f"on={comparison['on']['throughput_rps']:.0f} req/s)"
+        )
     if result.evaluated:
         print(
             f"logical_error_rate={result.logical_error_rate:.4g} "
@@ -738,7 +811,10 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             f"{result.identity_mismatches} mismatches"
         )
     try:
-        path = write_service_bench(service_bench_document(trace, result), args.output)
+        path = write_service_bench(
+            service_bench_document(trace, result, cache_comparison=comparison),
+            args.output,
+        )
     except ServiceBenchSchemaError as error:
         print(f"BENCH_service schema violation: {error}", file=sys.stderr)
         return 1

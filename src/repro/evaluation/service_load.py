@@ -66,6 +66,8 @@ class ServiceLoadResult:
     batch_sizes: Counter = field(default_factory=Counter)
     batches: int = 0
     session_stats: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    outcome_cache: dict = field(default_factory=lambda: {"enabled": False})
     identity_checked: int = 0
     identity_mismatches: int = 0
     outcome_digest: str = ""
@@ -116,11 +118,15 @@ class ServiceLoadEngine:
         queue_capacity: int = 1024,
         max_sessions: int = 8,
         overload_policy: str = "block",
+        outcome_cache_bytes: int | None = None,
+        repeats: int = 1,
     ) -> None:
         from ..service.trace import TraceSpec  # lazy: avoid import cycles
 
         if not isinstance(trace, TraceSpec):
             raise TypeError(f"trace must be a TraceSpec, got {type(trace).__name__}")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
         self.trace = trace
         self.workers = workers
         self.max_batch_size = max_batch_size
@@ -128,6 +134,14 @@ class ServiceLoadEngine:
         self.queue_capacity = queue_capacity
         self.max_sessions = max_sessions
         self.overload_policy = overload_policy
+        self.outcome_cache_bytes = outcome_cache_bytes
+        #: Replay the whole trace this many times through ONE service; each
+        #: pass fully drains before the next starts.  Pass 2+ re-submits the
+        #: same syndromes, which is exactly what exercises the
+        #: content-addressed outcome cache — the ``serve-bench`` cache
+        #: comparison runs both sides at repeats=2 so the cached second pass
+        #: is measured against a decoded second pass.
+        self.repeats = repeats
 
     # ------------------------------------------------------------------
     # replay
@@ -175,6 +189,7 @@ class ServiceLoadEngine:
         from ..service.trace import generate_trace
 
         trace = generate_trace(self.trace)
+        sequence = list(trace.requests) * self.repeats
         service = DecodeService(
             max_batch_size=self.max_batch_size,
             max_wait_seconds=self.max_wait_seconds,
@@ -182,17 +197,24 @@ class ServiceLoadEngine:
             workers=self.workers,
             max_sessions=self.max_sessions,
             overload_policy=self.overload_policy,
+            outcome_cache_bytes=self.outcome_cache_bytes,
         )
         with service:
             started = time.perf_counter()
-            if self.trace.arrival == "closed":
-                responses = self._replay_closed(service, trace.requests)
-            else:
-                responses = self._replay_open(service, trace.requests)
+            responses: list = []
+            # Each pass drains fully (the replay helpers block on every
+            # future) before the next begins, so pass 2+ submissions see the
+            # outcome cache populated by the previous pass.
+            for _ in range(self.repeats):
+                if self.trace.arrival == "closed":
+                    responses.extend(self._replay_closed(service, trace.requests))
+                else:
+                    responses.extend(self._replay_open(service, trace.requests))
             elapsed = time.perf_counter() - started
         stats = service.stats
+        snapshot = service.stats_snapshot()
         result = ServiceLoadResult(
-            requests=len(trace.requests),
+            requests=len(sequence),
             completed=sum(1 for r in responses if r.ok),
             shed=sum(1 for r in responses if not r.ok),
             errors=0,
@@ -202,20 +224,24 @@ class ServiceLoadEngine:
             latency=stats.latency,
             batch_sizes=Counter(stats.batch_sizes),
             batches=stats.batches,
-            session_stats=service.stats_snapshot()["sessions"],
+            session_stats=snapshot["sessions"],
+            cache_hits=stats.cache_hits,
+            outcome_cache=snapshot["outcome_cache"],
         )
-        self._evaluate_outcomes(trace, responses, result)
+        self._evaluate_outcomes(trace, sequence, responses, result)
         if verify_identity:
-            self._verify_identity(trace, responses, result)
+            self._verify_identity(trace, sequence, responses, result)
         return result
 
     # ------------------------------------------------------------------
     # outcome evaluation
     # ------------------------------------------------------------------
-    def _evaluate_outcomes(self, trace, responses, result: ServiceLoadResult) -> None:
+    def _evaluate_outcomes(
+        self, trace, sequence, responses, result: ServiceLoadResult
+    ) -> None:
         """Count logical errors and fold outcomes into the order-stable digest."""
         records = []
-        for traced, response in zip(trace.requests, responses):
+        for traced, response in zip(sequence, responses):
             if not response.ok:
                 records.append(f"{traced.index}:shed")
                 continue
@@ -232,10 +258,12 @@ class ServiceLoadEngine:
             records.append(record)
         result.outcome_digest = content_hash({"outcomes": records})
 
-    def _verify_identity(self, trace, responses, result: ServiceLoadResult) -> None:
+    def _verify_identity(
+        self, trace, sequence, responses, result: ServiceLoadResult
+    ) -> None:
         """Re-decode every request directly and compare bit for bit."""
         decoders: dict[int, object] = {}
-        for traced, response in zip(trace.requests, responses):
+        for traced, response in zip(sequence, responses):
             if not response.ok:
                 continue
             index = traced.scenario_index

@@ -1,0 +1,52 @@
+"""LUT pre-decode subsystem: table-lookup fast path + outcome cache.
+
+Two layers, both exact by construction (pLUTo's regime argument — see
+``docs/lut.md``):
+
+* :class:`LUTDecoder` (:mod:`repro.lut.decoder`) — the ``lut+<fallback>``
+  registry family.  A budget-bounded :class:`LookupTable` built at session
+  construction resolves zero-, one- and local two-defect syndromes in O(1);
+  misses fall through to the wrapped backend unchanged, so ``lut+X`` is
+  bit-identical to ``X`` on every shot.
+* :class:`OutcomeCache` (:mod:`repro.lut.outcome_cache`) — a
+  content-addressed decode-outcome cache mounted in front of the
+  :class:`repro.service.DecodeService` micro-batcher, keyed by
+  ``content_hash((session key, packed syndrome))``.
+
+Quickstart::
+
+    from repro.api import get_decoder
+    decoder = get_decoder("lut+union-find", graph)   # a LUTDecoder
+    outcome = decoder.decode_detailed(syndrome)       # hit or fallback
+    decoder.stats()["hit_rate"]
+"""
+
+from .decoder import LUTDecoder
+from .outcome_cache import (
+    ENTRY_OVERHEAD_BYTES,
+    OutcomeCache,
+    OutcomeCacheStats,
+    outcome_cache_key,
+)
+from .table import (
+    LookupTable,
+    LUTEntry,
+    clone_matching,
+    clone_outcome,
+    outcome_cost_bytes,
+    pack_defects,
+)
+
+__all__ = [
+    "LUTDecoder",
+    "LookupTable",
+    "LUTEntry",
+    "OutcomeCache",
+    "OutcomeCacheStats",
+    "ENTRY_OVERHEAD_BYTES",
+    "outcome_cache_key",
+    "pack_defects",
+    "clone_matching",
+    "clone_outcome",
+    "outcome_cost_bytes",
+]

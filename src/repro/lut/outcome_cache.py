@@ -1,0 +1,135 @@
+"""Content-addressed decode-outcome cache for the decode service.
+
+The cache memoises *complete decode outcomes* keyed by
+:func:`repro.api.hashing.content_hash` over ``(session key, packed
+syndrome)``.  Two requests collide exactly when they would run the same
+decoder build (same code, decoder, config hash — the session key) on the same
+defect set, in which case decoding is deterministic and replaying the stored
+outcome is exact.  :class:`repro.service.DecodeService` consults the cache in
+``submit`` — hits resolve the response future immediately and never occupy a
+micro-batch slot.
+
+The cache is byte-budgeted (LRU eviction, same deterministic cost model as
+the lookup table) and thread-safe; all mutation happens under one lock.
+Outcomes are cloned on both ``put`` and ``get`` so callers can never mutate a
+resident entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..api.hashing import content_hash
+from ..api.outcome import DecodeOutcome
+from ..graphs.syndrome import Syndrome
+from .table import clone_outcome, outcome_cost_bytes
+
+#: Fixed per-entry overhead estimate (key string + OrderedDict node), bytes.
+ENTRY_OVERHEAD_BYTES = 128
+
+
+@dataclass
+class OutcomeCacheStats:
+    """Monotonic counters of one cache's lifetime (hits, misses, evictions)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def outcome_cache_key(session_key: str, syndrome: Syndrome) -> str:
+    """Content-addressed cache key of one decode request.
+
+    Only the defect set joins the hash: a decode depends on nothing else in
+    the syndrome (``error_edges``/``logical_flip`` are ground-truth metadata
+    carried for evaluation, invisible to the decoder).
+
+    >>> from repro.graphs.syndrome import Syndrome
+    >>> key = outcome_cache_key("d=3/decoder=union-find", Syndrome(defects=(1, 4)))
+    >>> len(key)
+    16
+    """
+    return content_hash({"session": session_key, "defects": list(syndrome.defects)})
+
+
+class OutcomeCache:
+    """Thread-safe, byte-budgeted LRU of decode outcomes.
+
+    >>> from collections import Counter
+    >>> cache = OutcomeCache(max_bytes=1 << 16)
+    >>> outcome = DecodeOutcome(correction=set(), defect_count=0, counters=Counter())
+    >>> cache.put("k", outcome)
+    >>> cache.get("k") is outcome    # clone, not the stored object
+    False
+    >>> cache.get("k").defect_count
+    0
+    >>> cache.stats.hits, cache.stats.misses
+    (2, 0)
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_bytes = max_bytes
+        self.stats = OutcomeCacheStats()
+        self.bytes_resident = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[DecodeOutcome, int]] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> DecodeOutcome | None:
+        """The cached outcome for ``key`` (cloned), or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return clone_outcome(entry[0])
+
+    def put(self, key: str, outcome: DecodeOutcome) -> None:
+        """Store a clone of ``outcome``, evicting LRU entries over budget."""
+        cost = ENTRY_OVERHEAD_BYTES + outcome_cost_bytes(outcome)
+        if cost > self.max_bytes:
+            return
+        with self._lock:
+            stale = self._entries.pop(key, None)
+            if stale is not None:
+                self.bytes_resident -= stale[1]
+            while self._entries and self.bytes_resident + cost > self.max_bytes:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self.bytes_resident -= evicted_cost
+                self.stats.evictions += 1
+            self._entries[key] = (clone_outcome(outcome), cost)
+            self.bytes_resident += cost
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self.bytes_resident = 0
+
+    def stats_snapshot(self) -> dict:
+        """Plain-dict snapshot for service stats and ``BENCH_service.json``."""
+        with self._lock:
+            return {
+                "enabled": True,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "hit_rate": self.stats.hit_rate,
+                "entries": len(self._entries),
+                "bytes_resident": self.bytes_resident,
+                "max_bytes": self.max_bytes,
+            }

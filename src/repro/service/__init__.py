@@ -18,6 +18,10 @@ per-request cost (the pLUTo argument from PAPERS.md, applied to decoding):
 * :class:`~repro.service.service.ServiceStream` — long-lived streaming
   connections (``begin`` / ``push_round`` / ``finalize``) multiplexed through
   the same scheduler and backpressure domain.
+* An optional content-addressed :class:`repro.lut.OutcomeCache`
+  (``outcome_cache_bytes=...``) mounted in front of the micro-batcher:
+  repeated ``(session key, defect set)`` requests resolve in O(1) at
+  submission, before they ever occupy a queue slot.
 * :class:`TraceSpec` / :func:`generate_trace` — seed-stable synthetic request
   traces (open/closed-loop arrivals, weighted scenario mixes) replayed by
   :class:`repro.evaluation.ServiceLoadEngine`.
@@ -35,10 +39,12 @@ Quickstart (see ``docs/service.md`` for the full tour)::
         response = future.result()       # .outcome == direct decode_detailed
 """
 
+from ..lut.outcome_cache import OutcomeCache, OutcomeCacheStats, outcome_cache_key
 from .batcher import Batch, MicroBatcher
 from .bench import (
     SERVICE_BENCH_SCHEMA_VERSION,
     ServiceBenchSchemaError,
+    cache_comparison_entry,
     service_bench_document,
     validate_service_bench,
     write_service_bench,
@@ -76,6 +82,7 @@ __all__ = [
     "MicroBatcher",
     "SERVICE_BENCH_SCHEMA_VERSION",
     "ServiceBenchSchemaError",
+    "cache_comparison_entry",
     "service_bench_document",
     "validate_service_bench",
     "write_service_bench",
@@ -83,6 +90,9 @@ __all__ = [
     "SessionCacheStats",
     "SessionEntry",
     "build_session",
+    "OutcomeCache",
+    "OutcomeCacheStats",
+    "outcome_cache_key",
     "STATUS_OK",
     "STATUS_SHED",
     "CodeSpec",

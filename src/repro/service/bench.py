@@ -4,8 +4,12 @@ CI's ``perf-trajectory`` job replays the pinned smoke trace
 (:data:`repro.service.SMOKE_TRACE`) through the decode service on every push
 and publishes one JSON document per commit: request throughput, queue-delay
 and end-to-end latency percentiles, the realised micro-batch size histogram,
-session-cache effectiveness and the bit-identity verdict against direct
-decodes.  Consecutive artifacts form the service trajectory, the
+session-cache and outcome-cache effectiveness (:mod:`repro.lut`) and the
+bit-identity verdict against direct decodes.  Schema v2 adds the
+``outcome_cache`` counters plus an optional ``cache_comparison`` pair — the
+same trace replayed with the content-addressed outcome cache off and on —
+so the cache's throughput effect is tracked per commit.  Consecutive
+artifacts form the service trajectory, the
 front-end counterpart of ``BENCH_sweep.json`` (:mod:`repro.sweeps.bench`):
 a scheduling or batching regression shows up as a latency/throughput shift
 at identical, seed-pinned work.
@@ -24,7 +28,10 @@ from pathlib import Path
 from ..evaluation.engine import LatencyHistogram
 
 #: Version of the BENCH_service document layout; bump on breaking changes.
-SERVICE_BENCH_SCHEMA_VERSION = 1
+#: v2: ``cache_hits`` / ``outcome_cache`` counters and the (nullable)
+#: ``cache_comparison`` off/on pair; batch accounting becomes
+#: ``batched + cache_hits == completed``.
+SERVICE_BENCH_SCHEMA_VERSION = 2
 
 
 class ServiceBenchSchemaError(ValueError):
@@ -42,12 +49,36 @@ def _histogram_entry(histogram: LatencyHistogram) -> dict:
     }
 
 
+def cache_comparison_entry(off_result, on_result) -> dict:
+    """The ``cache_comparison`` block: one trace replayed cache-off then -on.
+
+    Both arguments are :class:`repro.evaluation.ServiceLoadResult` runs of the
+    *same* trace; ``throughput_ratio`` is on/off (>1 ⇒ the cache helped).
+    """
+
+    def _side(result) -> dict:
+        return {
+            "completed": result.completed,
+            "cache_hits": result.cache_hits,
+            "throughput_rps": result.throughput_rps,
+            "latency_p99_us": result.latency.percentile(99) * 1e6,
+        }
+
+    ratio = (
+        on_result.throughput_rps / off_result.throughput_rps
+        if off_result.throughput_rps > 0
+        else 0.0
+    )
+    return {"off": _side(off_result), "on": _side(on_result), "throughput_ratio": ratio}
+
+
 def service_bench_document(
     trace,
     result,
     *,
     commit: str | None = None,
     timestamp: str | None = None,
+    cache_comparison: dict | None = None,
 ) -> dict:
     """Build the BENCH_service document for one load-engine run.
 
@@ -55,6 +86,8 @@ def service_bench_document(
     :class:`repro.evaluation.ServiceLoadEngine` replayed, ``result`` the
     :class:`repro.evaluation.ServiceLoadResult` it returned; the document
     embeds the trace (with its content hash) next to the measurements.
+    ``cache_comparison`` is an optional :func:`cache_comparison_entry` block
+    (``None`` when no off/on pair was run — the key is always present).
     """
     # Lazy import: repro.sweeps pulls the evaluation experiment stack, which
     # a service-only consumer should not pay for at import time.
@@ -83,6 +116,9 @@ def service_bench_document(
             str(size): count for size, count in sorted(result.batch_sizes.items())
         },
         "sessions": dict(result.session_stats),
+        "cache_hits": result.cache_hits,
+        "outcome_cache": dict(result.outcome_cache),
+        "cache_comparison": cache_comparison,
         "identity": {
             "checked": result.identity_checked,
             "mismatches": result.identity_mismatches,
@@ -130,6 +166,9 @@ _TOP_REQUIRED = (
     "mean_batch_size",
     "batch_size_histogram",
     "sessions",
+    "cache_hits",
+    "outcome_cache",
+    "cache_comparison",
     "identity",
     "outcome_digest",
 )
@@ -140,6 +179,34 @@ def _check_histogram(entry, path: str) -> None:
     for key in _HISTOGRAM_KEYS:
         _require(key in entry, f"{path}: missing key {key!r}")
         _check_number(entry[key], f"{path}.{key}", low=0.0)
+
+
+def _check_outcome_cache(entry, path: str) -> None:
+    _require(isinstance(entry, dict), f"{path}: expected an object")
+    _require("enabled" in entry, f"{path}: missing key 'enabled'")
+    _require(isinstance(entry["enabled"], bool), f"{path}.enabled must be a bool")
+    if not entry["enabled"]:
+        return
+    for key in ("hits", "misses", "evictions", "entries", "bytes_resident", "max_bytes"):
+        _require(key in entry, f"{path}: missing key {key!r}")
+        _check_number(entry[key], f"{path}.{key}", low=0)
+    _check_number(entry["hit_rate"], f"{path}.hit_rate", 0.0, 1.0)
+
+
+def _check_cache_comparison(comparison) -> None:
+    _require(isinstance(comparison, dict), "cache_comparison must be an object or null")
+    for side in ("off", "on"):
+        _require(side in comparison, f"cache_comparison: missing key {side!r}")
+        entry = comparison[side]
+        _require(isinstance(entry, dict), f"cache_comparison.{side}: expected an object")
+        for key in ("completed", "cache_hits", "throughput_rps", "latency_p99_us"):
+            _require(key in entry, f"cache_comparison.{side}: missing key {key!r}")
+            _check_number(entry[key], f"cache_comparison.{side}.{key}", low=0)
+    _require(
+        comparison["off"]["cache_hits"] == 0,
+        "cache_comparison.off must have run without the cache (cache_hits == 0)",
+    )
+    _check_number(comparison["throughput_ratio"], "cache_comparison.throughput_ratio", low=0.0)
 
 
 def validate_service_bench(document: dict) -> None:
@@ -197,15 +264,20 @@ def validate_service_bench(document: dict) -> None:
         )
         _check_number(count, f"batch_size_histogram[{size!r}]", low=1)
         batched_requests += int(size) * count
+    _check_number(document["cache_hits"], "cache_hits", 0, document["completed"])
     _require(
-        batched_requests == document["completed"],
-        "batch_size_histogram must account for every completed request",
+        batched_requests + document["cache_hits"] == document["completed"],
+        "batched requests + cache_hits must account for every completed request",
     )
     sessions = document["sessions"]
     _require(isinstance(sessions, dict), "sessions must be an object")
     for key in ("hits", "misses", "evictions"):
         _require(key in sessions, f"sessions: missing key {key!r}")
         _check_number(sessions[key], f"sessions.{key}", low=0)
+    _check_outcome_cache(document["outcome_cache"], "outcome_cache")
+    comparison = document["cache_comparison"]
+    if comparison is not None:
+        _check_cache_comparison(comparison)
     identity = document["identity"]
     _require(isinstance(identity, dict), "identity must be an object")
     for key in ("checked", "mismatches"):

@@ -143,6 +143,12 @@ class DecodeResponse:
     from submission until the request's micro-batch started decoding,
     ``latency_seconds`` the full submission-to-completion time, and
     ``batch_size`` how many requests shared the coalesced batch.
+
+    ``cached`` marks a response resolved by the service's content-addressed
+    :class:`repro.lut.OutcomeCache` — the outcome is a stored (and cloned)
+    earlier decode of the same session key and defect set, which is exact
+    because decoding is deterministic.  Cached responses never occupy a
+    micro-batch slot, so their ``batch_size`` is 0.
     """
 
     request: DecodeRequest
@@ -151,6 +157,7 @@ class DecodeResponse:
     queue_delay_seconds: float = 0.0
     latency_seconds: float = 0.0
     batch_size: int = 0
+    cached: bool = False
 
     @property
     def ok(self) -> bool:

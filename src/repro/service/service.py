@@ -43,6 +43,7 @@ from typing import Callable, Iterable
 
 from ..api.outcome import DecodeOutcome
 from ..evaluation.engine import LatencyHistogram
+from ..lut.outcome_cache import OutcomeCache, outcome_cache_key
 from ..stream import get_streaming_decoder
 from .batcher import Batch, MicroBatcher
 from .cache import SessionCache, SessionFactory, build_session
@@ -88,6 +89,7 @@ class ServiceStats:
     shed: int = 0
     batches: int = 0
     stream_ops: int = 0
+    cache_hits: int = 0
     batch_sizes: Counter = field(default_factory=Counter)
     queue_delay: LatencyHistogram = field(default_factory=service_histogram)
     latency: LatencyHistogram = field(default_factory=service_histogram)
@@ -101,14 +103,26 @@ class ServiceStats:
 
 
 class _DecodeJob:
-    """One queued single-shot request plus its response future."""
+    """One queued single-shot request plus its response future.
 
-    __slots__ = ("request", "future", "arrival_seconds")
+    ``cache_key`` is the request's outcome-cache key, carried through the
+    micro-batcher so the worker can publish the decode into the cache —
+    ``None`` when the service runs without an outcome cache.
+    """
 
-    def __init__(self, request: DecodeRequest, future: Future, arrival: float):
+    __slots__ = ("request", "future", "arrival_seconds", "cache_key")
+
+    def __init__(
+        self,
+        request: DecodeRequest,
+        future: Future,
+        arrival: float,
+        cache_key: str | None = None,
+    ):
         self.request = request
         self.future = future
         self.arrival_seconds = arrival
+        self.cache_key = cache_key
 
 
 class _StreamJob:
@@ -204,6 +218,7 @@ class DecodeService:
         overload_policy: str = "block",
         clock: Callable[[], float] = time.monotonic,
         session_factory: SessionFactory = build_session,
+        outcome_cache_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -223,6 +238,15 @@ class DecodeService:
             max_wait_seconds=max_wait_seconds,
         )
         self._sessions = SessionCache(max_sessions=max_sessions, session_factory=session_factory)
+        # Content-addressed decode-outcome cache (repro.lut), consulted in
+        # submit() before a request ever reaches the micro-batcher.  None /
+        # 0 / negative ⇒ disabled (the default: memoisation across requests
+        # is only worth its bytes for repeat-heavy traffic).
+        self.outcome_cache: OutcomeCache | None = (
+            OutcomeCache(outcome_cache_bytes)
+            if outcome_cache_bytes is not None and outcome_cache_bytes > 0
+            else None
+        )
         self._pool: ThreadPoolExecutor | None = None
         self._dispatcher: threading.Thread | None = None
         self._started = False
@@ -310,11 +334,36 @@ class DecodeService:
         and raises :class:`ServiceOverloadedError` on expiry; ``"shed"``
         resolves the future immediately with a
         :data:`~repro.service.request.STATUS_SHED` response.
+
+        With an outcome cache configured, a content-addressed hit resolves
+        the future right here — the request never touches the queue, the
+        micro-batcher or a decoder session (``response.cached`` is True).
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
         future: Future = Future()
-        job = _DecodeJob(request, future, self._clock())
+        arrival = self._clock()
+        cache_key: str | None = None
+        if self.outcome_cache is not None:
+            cache_key = outcome_cache_key(request.session.key(), request.syndrome)
+            outcome = self.outcome_cache.get(cache_key)
+            if outcome is not None:
+                latency = max(0.0, self._clock() - arrival)
+                with self._stats_lock:
+                    self.stats.submitted += 1
+                    self.stats.completed += 1
+                    self.stats.cache_hits += 1
+                    self.stats.latency.add(latency)
+                future.set_result(
+                    DecodeResponse(
+                        request=request,
+                        outcome=outcome,
+                        latency_seconds=latency,
+                        cached=True,
+                    )
+                )
+                return future
+        job = _DecodeJob(request, future, arrival, cache_key)
         try:
             if self.overload_policy == "shed":
                 self._queue.put_nowait(job)
@@ -430,6 +479,8 @@ class DecodeService:
                 except BaseException as exc:
                     job.future.set_exception(exc)
                     continue
+                if self.outcome_cache is not None and job.cache_key is not None:
+                    self.outcome_cache.put(job.cache_key, outcome)
                 done = self._clock()
                 queue_delay = max(0.0, started - job.arrival_seconds)
                 latency = max(0.0, done - job.arrival_seconds)
@@ -460,6 +511,7 @@ class DecodeService:
                 "shed": stats.shed,
                 "batches": stats.batches,
                 "stream_ops": stats.stream_ops,
+                "cache_hits": stats.cache_hits,
                 "mean_batch_size": stats.mean_batch_size,
                 "batch_sizes": dict(stats.batch_sizes),
                 "queue_delay_p99_us": stats.queue_delay.percentile(99) * 1e6,
@@ -467,6 +519,11 @@ class DecodeService:
             }
         snapshot["sessions"] = self._sessions.stats.to_dict()
         snapshot["sessions"]["live"] = len(self._sessions)
+        snapshot["outcome_cache"] = (
+            self.outcome_cache.stats_snapshot()
+            if self.outcome_cache is not None
+            else {"enabled": False}
+        )
         return snapshot
 
 

@@ -27,6 +27,7 @@ from .runner import (
 from .spec import SMOKE_SPEC, SweepPoint, SweepSpec, derive_point_seed, make_spec
 from .store import (
     LatencySummary,
+    LUTStats,
     PointResult,
     ResultStore,
     StoreError,
@@ -54,6 +55,7 @@ __all__ = [
     "derive_point_seed",
     "make_spec",
     "LatencySummary",
+    "LUTStats",
     "PointResult",
     "ResultStore",
     "StoreError",

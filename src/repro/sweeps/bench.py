@@ -28,7 +28,11 @@ from .store import PointResult
 #: Version of the BENCH document layout; bump on breaking changes.
 #: v2: points gained a required ``streaming`` flag (stream reaction-latency
 #: points live next to batch decode-latency points).
-BENCH_SCHEMA_VERSION = 2
+#: v3: points gained a required ``lut`` block (null for base decoders):
+#: table hit/miss/zero-defect counts, the hit rate, and the measured
+#: speedup of ``lut+X`` over the matching ``X`` point of the same sweep
+#: (null when the sweep ran no matching fallback point).
+BENCH_SCHEMA_VERSION = 3
 
 
 class BenchSchemaError(ValueError):
@@ -54,7 +58,56 @@ def current_commit() -> str:
     return sha if completed.returncode == 0 and sha else "unknown"
 
 
-def _point_entry(result: PointResult) -> dict:
+def _fallback_throughputs(results: list[PointResult]) -> dict[tuple, float]:
+    """Index base-decoder points by their (cell, decoder) for speedup pairing."""
+    index: dict[tuple, float] = {}
+    for result in results:
+        point = result.point
+        if point.decoder.startswith("lut+"):
+            continue
+        cell = (
+            point.distance,
+            point.noise,
+            point.physical_error_rate,
+            point.streaming,
+            point.decoder,
+        )
+        index[cell] = result.shots_per_second
+    return index
+
+
+def _lut_entry(result: PointResult, fallback_sps: dict[tuple, float]) -> dict | None:
+    """The per-point ``lut`` block: hit stats + measured speedup-vs-fallback.
+
+    ``speedup_vs_fallback`` compares the lut point's shots/sec against the
+    same sweep's matching base-decoder point (same distance, noise, error
+    rate, streaming flag) — null when the sweep ran no such point or either
+    throughput is unusable.  The two points decode different seed-derived
+    syndromes (the decoder name joins the seed derivation), which is exactly
+    right for a throughput ratio: same workload distribution, not same shots.
+    """
+    if result.lut is None:
+        return None
+    point = result.point
+    cell = (
+        point.distance,
+        point.noise,
+        point.physical_error_rate,
+        point.streaming,
+        point.decoder[len("lut+"):],
+    )
+    base_sps = fallback_sps.get(cell, 0.0)
+    speedup = None
+    if base_sps > 0.0 and result.shots_per_second > 0.0:
+        speedup = result.shots_per_second / base_sps
+    return {
+        **result.lut.to_dict(),
+        "hit_rate": result.lut.hit_rate,
+        "speedup_vs_fallback": speedup,
+    }
+
+
+def _point_entry(result: PointResult, fallback_sps: dict[tuple, float]) -> dict:
     point = result.point
     latency = None
     if result.latency is not None:
@@ -85,6 +138,7 @@ def _point_entry(result: PointResult) -> dict:
         "shots_per_second": result.shots_per_second,
         "elapsed_seconds": result.elapsed_seconds,
         "latency": latency,
+        "lut": _lut_entry(result, fallback_sps),
     }
 
 
@@ -96,6 +150,7 @@ def bench_document(
 ) -> dict:
     """Build the BENCH document for one sweep run (validated by the caller)."""
     spec = run.spec
+    fallback_sps = _fallback_throughputs(run.results)
     fits: dict[str, dict | None] = {}
     for noise in spec.noise_models:
         for decoder in spec.decoders:
@@ -117,7 +172,9 @@ def bench_document(
         if timestamp is not None
         else datetime.now(timezone.utc).isoformat(),
         "spec": {"hash": run.spec_hash, **spec.to_dict()},
-        "points": [_point_entry(result) for result in run.results],
+        "points": [
+            _point_entry(result, fallback_sps) for result in run.results
+        ],
         "fits": fits,
     }
 
@@ -159,13 +216,14 @@ _POINT_REQUIRED = (
     "shots_per_second",
     "elapsed_seconds",
     "latency",
+    "lut",
 )
 
 
 def validate_bench(document: dict) -> None:
     """Validate a BENCH document; raises :class:`BenchSchemaError` on violation.
 
-    >>> validate_bench({"schema_version": 2})
+    >>> validate_bench({"schema_version": 3})
     Traceback (most recent call last):
         ...
     repro.sweeps.bench.BenchSchemaError: missing top-level key 'commit'
@@ -238,6 +296,33 @@ def validate_bench(document: dict) -> None:
             for key in _LATENCY_KEYS:
                 _require(key in latency, f"{path}.latency: missing key {key!r}")
                 _check_number(latency[key], f"{path}.latency.{key}", low=0.0)
+        lut = point["lut"]
+        if lut is None:
+            _require(
+                not (point["decoder"].startswith("lut+") and not point["streaming"]),
+                f"{path}: batch lut+ point must carry a lut block",
+            )
+        else:
+            _require(isinstance(lut, dict), f"{path}.lut must be object|null")
+            _require(
+                point["decoder"].startswith("lut+"),
+                f"{path}: lut block on a non-lut decoder",
+            )
+            for key in ("hits", "misses", "zero_defect_hits"):
+                _require(key in lut, f"{path}.lut: missing key {key!r}")
+                _check_number(lut[key], f"{path}.lut.{key}", low=0)
+            _require("hit_rate" in lut, f"{path}.lut: missing key 'hit_rate'")
+            _check_number(lut["hit_rate"], f"{path}.lut.hit_rate", 0.0, 1.0)
+            _require(
+                "speedup_vs_fallback" in lut,
+                f"{path}.lut: missing key 'speedup_vs_fallback'",
+            )
+            if lut["speedup_vs_fallback"] is not None:
+                _check_number(
+                    lut["speedup_vs_fallback"],
+                    f"{path}.lut.speedup_vs_fallback",
+                    low=0.0,
+                )
     fits = document["fits"]
     _require(isinstance(fits, dict), "fits must be an object")
     for slice_key, fit in fits.items():

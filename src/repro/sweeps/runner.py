@@ -32,7 +32,7 @@ from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.noise import noise_model_by_name
 from ..graphs.surface_code import surface_code_decoding_graph
 from .spec import SweepPoint, SweepSpec
-from .store import LatencySummary, PointResult, ResultStore
+from .store import LatencySummary, LUTStats, PointResult, ResultStore
 
 #: Called after every completed (or cache-hit) point; raising from the
 #: callback aborts the sweep at a point boundary — the store stays valid.
@@ -64,6 +64,26 @@ def build_point_graph(point: SweepPoint) -> DecodingGraph:
     return surface_code_decoding_graph(point.distance, model)
 
 
+def _lut_stats(point: SweepPoint, engine_result: EngineResult) -> LUTStats | None:
+    """LUT hit/miss stats of a ``lut+<fallback>`` point (``None`` otherwise).
+
+    The decoders mark every decoded shot's outcome counters with ``lut_hit``
+    or ``lut_miss`` (:mod:`repro.lut.decoder`), which the engine aggregates
+    across shards and worker processes; zero-defect shots are never decoded
+    at all (the engine tallies them without calling the decoder), and the
+    table answers exactly those in O(1) — its zero-defect fast path — so
+    they are counted as ``zero_defect_hits``.
+    """
+    if not point.decoder.startswith("lut+"):
+        return None
+    counters = engine_result.counters
+    return LUTStats(
+        hits=int(counters.get("lut_hit", 0)),
+        misses=int(counters.get("lut_miss", 0)),
+        zero_defect_hits=engine_result.shots - engine_result.decoded_shots,
+    )
+
+
 def _point_result(
     point: SweepPoint, engine_result: EngineResult, elapsed_seconds: float
 ) -> PointResult:
@@ -76,6 +96,7 @@ def _point_result(
         defects=engine_result.defects,
         stopped_early=engine_result.stopped_early,
         latency=LatencySummary.from_histogram(histogram) if histogram else None,
+        lut=_lut_stats(point, engine_result),
         elapsed_seconds=elapsed_seconds,
     )
 

@@ -86,6 +86,45 @@ class LatencySummary:
 
 
 @dataclass(frozen=True)
+class LUTStats:
+    """Deterministic LUT hit/miss statistics of one ``lut+<fallback>`` point.
+
+    ``hits``/``misses`` count decoded (defect-carrying) shots resolved by /
+    falling through the lookup table; ``zero_defect_hits`` counts the shots
+    the Monte-Carlo engine never decoded at all — the LUT's dedicated
+    zero-defect fast path answers those in O(1) by construction, so they are
+    table hits for rate purposes.
+    """
+
+    hits: int
+    misses: int
+    zero_defect_hits: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Table hits (incl. zero-defect shots) over all shots."""
+        total = self.hits + self.misses + self.zero_defect_hits
+        if not total:
+            return 0.0
+        return (self.hits + self.zero_defect_hits) / total
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "zero_defect_hits": self.zero_defect_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LUTStats":
+        return cls(
+            hits=int(data["hits"]),
+            misses=int(data["misses"]),
+            zero_defect_hits=int(data["zero_defect_hits"]),
+        )
+
+
+@dataclass(frozen=True)
 class PointResult:
     """Completed Monte-Carlo result of one sweep point."""
 
@@ -96,6 +135,10 @@ class PointResult:
     defects: int
     stopped_early: bool
     latency: LatencySummary | None = None
+    #: LUT hit/miss statistics — only ``lut+<fallback>`` points carry one.
+    #: Serialized *only when present* so stores written before the LUT
+    #: subsystem existed keep their fingerprints byte for byte.
+    lut: LUTStats | None = None
     #: Wall-clock seconds of the run (machine-dependent; excluded from the
     #: store's determinism contract).  Cache hits restore the value the
     #: original run recorded, so throughput columns reflect that machine.
@@ -132,7 +175,7 @@ class PointResult:
 
     def result_dict(self) -> dict:
         """The deterministic payload stored on disk."""
-        return {
+        payload = {
             "shots": self.shots,
             "errors": self.errors,
             "decoded_shots": self.decoded_shots,
@@ -140,6 +183,9 @@ class PointResult:
             "stopped_early": self.stopped_early,
             "latency": self.latency.to_dict() if self.latency else None,
         }
+        if self.lut is not None:
+            payload["lut"] = self.lut.to_dict()
+        return payload
 
 
 class StoreError(RuntimeError):
@@ -281,6 +327,7 @@ class ResultStore:
     def _result_from_record(record: dict, cached: bool) -> PointResult:
         result = record["result"]
         latency = result.get("latency")
+        lut = result.get("lut")
         timing = record.get("timing") or {}
         return PointResult(
             point=SweepPoint.from_dict(record["point"]),
@@ -290,6 +337,7 @@ class ResultStore:
             defects=int(result["defects"]),
             stopped_early=bool(result["stopped_early"]),
             latency=LatencySummary.from_dict(latency) if latency else None,
+            lut=LUTStats.from_dict(lut) if lut else None,
             elapsed_seconds=float(timing.get("elapsed_seconds", 0.0)),
             cached=cached,
         )

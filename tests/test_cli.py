@@ -430,7 +430,11 @@ class TestServeBenchCommand:
         assert exit_code == 0
         document = json.loads(output_path.read_text())
         assert document["trace"]["name"] == "ci-smoke"
-        assert document["requests"] == 96
+        assert document["trace"]["requests"] == 96
+        # --smoke replays the pinned trace twice (cache-off/on comparison).
+        assert document["requests"] == 192
+        assert document["outcome_cache"]["hits"] == 96
+        assert document["cache_comparison"] is not None
         assert document["identity"]["checked"] == 0  # --no-verify
 
     def test_serve_bench_accepts_trace_file(self, tmp_path, capsys):

@@ -35,7 +35,13 @@ from repro.matching import ReferenceDecoder
 from repro.stream import get_streaming_decoder
 
 #: Decoders guaranteed to realise the exact minimum-weight perfect matching.
-EXACT_DECODERS = {"micro-blossom", "micro-blossom-batch", "parity-blossom", "reference"}
+_EXACT_BASE = {"micro-blossom", "micro-blossom-batch", "parity-blossom", "reference"}
+#: ``lut+X`` replays outcomes produced by ``X`` itself, so it inherits (and
+#: must preserve) the exactness of whatever it wraps.
+EXACT_DECODERS = _EXACT_BASE | {f"lut+{name}" for name in _EXACT_BASE}
+
+#: Every backend the LUT pre-decoder can wrap (the non-lut registry names).
+LUT_BASES = ("micro-blossom", "micro-blossom-batch", "parity-blossom", "reference", "union-find")
 
 NOISE_FAMILIES = {
     "code_capacity": lambda: surface_code_decoding_graph(
@@ -67,7 +73,8 @@ def conformance_case(request):
 
 
 def test_registry_has_all_backends():
-    assert EXACT_DECODERS | {"union-find"} <= set(available_decoders())
+    assert EXACT_DECODERS | {"union-find", "lut+union-find"} <= set(available_decoders())
+    assert {f"lut+{name}" for name in LUT_BASES} <= set(available_decoders())
 
 
 @pytest.mark.parametrize("name", sorted(available_decoders()))
@@ -168,3 +175,49 @@ def test_streaming_zero_defect_and_empty_round_fast_paths(name):
     # every round before the defect's contributes no primal/dual work
     for push in pushes[:-1]:
         assert push.get("instr_find_obstacle", 0) == 0, name
+
+
+@pytest.mark.parametrize("base", LUT_BASES)
+def test_lut_is_bit_identical_to_fallback(conformance_case, base):
+    """``lut+X`` returns exactly what ``X`` would, hit or miss, on every shot.
+
+    The LUT acceptance contract: the table replays outcomes the fallback
+    itself produced at build time, and misses fall through unchanged — so the
+    correction edge set, matching weight and logical-flip verdict must be
+    identical shot for shot across every noise family, with the table
+    actually serving a non-trivial share of the shots.
+    """
+    family, graph, syndromes, _ = conformance_case
+    fallback = get_decoder(base, graph)
+    lut = get_decoder(f"lut+{base}", graph)
+    for syndrome in syndromes:
+        label = f"lut+{base} on {family} defects={syndrome.defects}"
+        expected = fallback.decode_detailed(syndrome)
+        got = lut.decode_detailed(syndrome)
+        assert got.correction_edges(graph) == expected.correction_edges(graph), label
+        assert got.weight == expected.weight, label
+        assert got.is_exact == expected.is_exact, label
+        expected_flip = graph.crosses_observable(expected.correction_edges(graph))
+        assert graph.crosses_observable(got.correction_edges(graph)) == expected_flip, label
+        assert lut.decode(syndrome).weight == fallback.decode(syndrome).weight, label
+    assert lut.stats()["hits"] > 0, f"lut+{base} on {family}: table never hit"
+
+    # zero-defect: the dedicated fast path must serve the empty syndrome
+    empty = Syndrome(defects=())
+    assert lut.decode_detailed(empty).correction_edges(graph) == set()
+    assert lut.decode(empty).weight == 0
+    assert lut.stats()["zero_defect_hits"] > 0
+
+
+@pytest.mark.parametrize("base", LUT_BASES)
+def test_lut_streamed_equals_fallback_streamed(base):
+    """Streamed shots bypass the table and stay identical to the fallback."""
+    graph = surface_code_decoding_graph(3, phenomenological_noise(0.04))
+    sampler = SyndromeSampler(graph, seed=20260806)
+    syndromes = [s for s in sampler.sample_batch(20) if s.defects][:8]
+    assert syndromes
+    for syndrome in syndromes + [Syndrome(defects=())]:
+        expected, _ = _stream_decode(get_streaming_decoder(base, graph), graph, syndrome)
+        got, _ = _stream_decode(get_streaming_decoder(f"lut+{base}", graph), graph, syndrome)
+        assert got.correction_edges(graph) == expected.correction_edges(graph), base
+        assert got.weight == expected.weight, base

@@ -1,0 +1,84 @@
+"""Golden pins of the shared content-hashing layer (`repro.api.hashing`).
+
+Every cache key in the repo flows through these primitives: sweep-store
+lookups and per-point seeds, decode-service session keys, the LUT outcome
+cache, trace fingerprints.  The pinned hex values below are the stability
+contract — if any of them changes, every previously-written store file,
+BENCH document and cache key silently stops matching.  A failure here means
+the canonical serialization changed, which is a breaking format change, not
+a refactor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import content_hash, stable_seed
+from repro.api.hashing import canonical_json
+from repro.lut import outcome_cache_key
+from repro.service import SMOKE_TRACE, CodeSpec, SessionKey
+from repro.sweeps import SMOKE_SPEC, ResultStore, SweepSpec, run_sweep
+
+
+def test_canonical_json_is_sorted_and_minimal():
+    assert canonical_json({"b": 1, "a": [True, None]}) == '{"a":[true,null],"b":1}'
+    # tuples and lists canonicalize identically; key order never matters
+    assert canonical_json({"a": (1, 2)}) == canonical_json({"a": [1, 2]})
+
+
+def test_content_hash_golden_values():
+    assert content_hash({"shots": 100, "seed": 0}) == "ef31070b2e8df604"
+    assert content_hash({"a": [1, 2, {"b": None}], "c": "x"}) == "2d65dc6bc9212e8a"
+    assert content_hash({"name": "ümlaut", "n": 3}) == "4d81b95bca3b31d7"
+    assert len(content_hash({"x": 1}, digits=64)) == 64
+    with pytest.raises(ValueError):
+        content_hash({}, digits=0)
+
+
+def test_stable_seed_golden_values():
+    assert stable_seed(42, "sweep") == 3728225706365999517
+    assert stable_seed(7, "d=3/decoder=union-find") == 7862741715517147707
+    assert 0 <= stable_seed(0, "anything") < 2**63
+
+
+def test_pinned_smoke_artifact_hashes():
+    # CI's perf-trajectory jobs key their artifacts on these two.
+    assert SMOKE_SPEC.spec_hash() == "dfde37026f2cac30"
+    assert SMOKE_TRACE.trace_hash() == "dc69d9b30cc305ea"
+
+
+def test_pinned_sweep_point_seed_and_store_fingerprint():
+    """Seed derivation and the store's canonical fingerprint are byte-stable.
+
+    The LUT subsystem added an *optional* ``lut`` field to point records;
+    points without one (every pre-existing store) must keep serializing —
+    and therefore fingerprinting — exactly as before.
+    """
+    spec = SweepSpec("pin", (3,), (0.02,), ("union-find",), shots=32, seed=5)
+    assert spec.spec_hash() == "4c01752800a2715a"
+    point = spec.expand()[0]
+    assert point.seed == 2636481910731877621
+    assert point.key == (
+        "d=3/noise=circuit_level/p=0.02/decoder=union-find/shots=32/"
+        "seed=2636481910731877621/shard=256/target_se=none/latency=0"
+    )
+    store = ResultStore(None)
+    run_sweep(spec, store)
+    assert store.fingerprint() == (
+        "fb431e1ff502d61431811adceaba9d4029b1c413d9ddc124238284b86684bfbc"
+    )
+
+
+def test_pinned_session_and_outcome_cache_keys():
+    key = SessionKey(CodeSpec(distance=3, physical_error_rate=0.02), "union-find")
+    assert key.key() == (
+        "d=3/noise=circuit_level/p=0.02/rounds=default/decoder=union-find/"
+        "config=a0ef96980b367e30"
+    )
+
+    class _Syndrome:
+        defects = (1, 4)
+
+    assert outcome_cache_key(key.key(), _Syndrome()) == content_hash(
+        {"session": key.key(), "defects": [1, 4]}
+    )
