@@ -55,10 +55,14 @@ from .evaluation import (
 from .graphs import SyndromeSampler, noise_model_by_name, surface_code_decoding_graph
 from .matching import ReferenceDecoder
 from .service import (
+    HOSTILE_SMOKE_PLAN,
+    HOSTILE_SMOKE_TRACES,
     SMOKE_TRACE,
+    FaultPlan,
     ServiceBenchSchemaError,
     TraceSpec,
     cache_comparison_entry,
+    hostile_mix_entry,
     make_trace,
     service_bench_document,
     write_service_bench,
@@ -387,6 +391,25 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the trace twice (outcome cache off, then on) and "
         "record the pair under cache_comparison; --smoke implies this",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON fault-plan file injected into the primary replay "
+        "(see docs/service.md)",
+    )
+    serve.add_argument(
+        "--session-build-retries",
+        type=int,
+        default=2,
+        help="retry budget for crashed session builds",
+    )
+    serve.add_argument(
+        "--hostile-smoke",
+        action="store_true",
+        help="additionally replay the pinned hostile trace families under "
+        "the pinned fault plan and record them as the hostile_mix series; "
+        "fails on any non-isolated fault",
     )
     serve.add_argument("--output", default="BENCH_service.json")
     return parser
@@ -727,11 +750,18 @@ def _serve_trace_from_args(args: argparse.Namespace) -> TraceSpec:
 _DEFAULT_COMPARE_CACHE_BYTES = 4 << 20
 
 
+#: Drain bound of every CLI-driven service replay: a close() that cannot
+#: finish within this raises ServiceDrainError and fails the run instead of
+#: wedging CI.
+_SERVE_DRAIN_TIMEOUT_SECONDS = 60.0
+
+
 def _serve_engine(
     args: argparse.Namespace,
     trace: TraceSpec,
     outcome_cache_bytes: int | None,
     repeats: int = 1,
+    fault_plan: FaultPlan | None = None,
 ) -> ServiceLoadEngine:
     return ServiceLoadEngine(
         trace,
@@ -743,11 +773,57 @@ def _serve_engine(
         overload_policy=args.policy,
         outcome_cache_bytes=outcome_cache_bytes,
         repeats=repeats,
+        fault_plan=fault_plan,
+        session_build_retries=args.session_build_retries,
+        session_build_backoff_seconds=0.0005,
+        drain_timeout_seconds=_SERVE_DRAIN_TIMEOUT_SECONDS,
     )
+
+
+def _run_hostile_mix(args: argparse.Namespace) -> tuple[list, list]:
+    """Replay every pinned hostile family under the pinned fault plan.
+
+    Returns the ``hostile_mix`` entries plus the names of families whose
+    faults were NOT isolated (any poisoned request not resolved as an error,
+    any identity or stream mismatch) — the caller fails on a non-empty list.
+    """
+    entries = []
+    failed = []
+    for family, spec in HOSTILE_SMOKE_TRACES:
+        engine = ServiceLoadEngine(
+            spec,
+            workers=args.workers,
+            max_batch_size=args.max_batch,
+            max_wait_seconds=args.max_wait_us * 1e-6,
+            queue_capacity=args.queue_capacity,
+            max_sessions=8,
+            overload_policy="block",  # no shedding: digests stay comparable
+            fault_plan=HOSTILE_SMOKE_PLAN,
+            session_build_retries=2,
+            session_build_backoff_seconds=0.0005,
+            drain_timeout_seconds=_SERVE_DRAIN_TIMEOUT_SECONDS,
+        )
+        result = engine.run(verify_identity=True)
+        entry = hostile_mix_entry(family, spec, HOSTILE_SMOKE_PLAN, result)
+        entries.append(entry)
+        verdict = "isolated" if entry["isolated"] else "NOT ISOLATED"
+        print(
+            f"hostile {family:14s} [{entry['trace_hash']}]: "
+            f"{result.completed} ok, {result.error_responses} error "
+            f"({result.poisoned_errored}/{result.poisoned} poisoned), "
+            f"{result.retries} retries, "
+            f"{result.streams - result.stream_mismatches}/{result.streams} "
+            f"streams, fairness min={result.min_completion_ratio:.2f} "
+            f"-> {verdict}"
+        )
+        if not entry["isolated"]:
+            failed.append(family)
+    return entries, failed
 
 
 def _command_serve_bench(args: argparse.Namespace) -> int:
     trace = _serve_trace_from_args(args)
+    fault_plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
     compare = args.compare_cache or args.smoke
     cache_bytes = args.outcome_cache_bytes
     if compare and cache_bytes <= 0:
@@ -758,21 +834,30 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         # syndromes — the cache's target workload), cache off then on.  The
         # cache-on run is the primary document (and the identity-gated one —
         # verifying it proves cached responses equal direct decodes).
-        off_result = _serve_engine(args, trace, None, repeats=2).run()
-        result = _serve_engine(args, trace, cache_bytes, repeats=2).run(
-            verify_identity=not args.no_verify
-        )
+        off_result = _serve_engine(args, trace, None, repeats=2, fault_plan=fault_plan).run()
+        result = _serve_engine(
+            args, trace, cache_bytes, repeats=2, fault_plan=fault_plan
+        ).run(verify_identity=not args.no_verify)
         comparison = cache_comparison_entry(off_result, result)
     else:
         result = _serve_engine(
-            args, trace, cache_bytes if cache_bytes > 0 else None
+            args, trace, cache_bytes if cache_bytes > 0 else None, fault_plan=fault_plan
         ).run(verify_identity=not args.no_verify)
     print(
         f"trace {trace.name!r} [{trace.trace_hash()}]: "
         f"{result.requests} requests ({result.completed} completed, "
-        f"{result.shed} shed) in {result.elapsed_seconds:.2f}s "
+        f"{result.shed} shed, {result.error_responses} error) "
+        f"in {result.elapsed_seconds:.2f}s "
         f"= {result.throughput_rps:.0f} req/s"
     )
+    if fault_plan is not None:
+        print(
+            f"fault_plan {fault_plan.name!r} [{fault_plan.plan_hash()}]: "
+            f"{result.poisoned_errored}/{result.poisoned} poisoned errored, "
+            f"{result.retries} retries, shed_rate={result.shed_rate:.3f}, "
+            f"fairness min={result.min_completion_ratio:.2f} "
+            f"max={result.max_completion_ratio:.2f}"
+        )
     print(
         f"queue_delay_us p50={result.queue_delay.percentile(50) * 1e6:.1f} "
         f"p99={result.queue_delay.percentile(99) * 1e6:.1f}  "
@@ -810,9 +895,19 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             f"identity: {result.identity_checked} checked, "
             f"{result.identity_mismatches} mismatches"
         )
+    hostile_mix = None
+    hostile_failures: list = []
+    if args.hostile_smoke:
+        hostile_mix, hostile_failures = _run_hostile_mix(args)
     try:
         path = write_service_bench(
-            service_bench_document(trace, result, cache_comparison=comparison),
+            service_bench_document(
+                trace,
+                result,
+                cache_comparison=comparison,
+                fault_plan=fault_plan,
+                hostile_mix=hostile_mix,
+            ),
             args.output,
         )
     except ServiceBenchSchemaError as error:
@@ -823,6 +918,19 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         print(
             f"service outcomes diverged from direct decodes "
             f"({result.identity_mismatches} mismatches)",
+            file=sys.stderr,
+        )
+        return 1
+    if fault_plan is not None and result.poisoned_errored != result.poisoned:
+        print(
+            f"fault isolation failed: {result.poisoned - result.poisoned_errored} "
+            f"poisoned request(s) did not resolve as errors",
+            file=sys.stderr,
+        )
+        return 1
+    if hostile_failures:
+        print(
+            f"hostile smoke: faults not isolated in {', '.join(hostile_failures)}",
             file=sys.stderr,
         )
         return 1

@@ -6,28 +6,33 @@
 :class:`repro.service.DecodeService` with the seed-stable request trace of a
 :class:`repro.service.TraceSpec` and reports what a capacity planner needs —
 request throughput, queue-delay and end-to-end latency percentiles, the
-realised micro-batch size histogram, session-cache effectiveness, and
-load-shed counts.
+realised micro-batch size histogram, session-cache effectiveness, load-shed
+counts, and (under a :class:`repro.service.faults.FaultPlan`) the fault
+accounting that proves isolation: error/retry counters, per-scenario
+fairness, and the poisoned-request ledger.
 
 Two determinism layers coexist deliberately:
 
 * **Outcomes are worker-independent.**  Which syndrome each request carries
-  and what its decode returns are pure functions of the trace spec — decoder
-  sessions are bit-identical under reuse, so concurrency, batching and
-  completion order cannot change any outcome.
+  and what its decode returns are pure functions of the trace spec (and the
+  fault plan) — decoder sessions are bit-identical under reuse, so
+  concurrency, batching and completion order cannot change any outcome.
   :attr:`ServiceLoadResult.outcome_digest` hashes every per-request outcome
-  in request order; equal digests across worker counts are pinned by
-  ``tests/test_service.py``.
+  in request order, and :attr:`ServiceLoadResult.healthy_digest` hashes only
+  the non-poisoned, non-shed ones — the digest the hostile smoke compares
+  across worker counts and fault plans.  Equal digests across worker counts
+  are pinned by ``tests/test_service.py``.
 * **Timings are measurements.**  Throughput, queue delay, latency and batch
   sizes are wall-clock observations of *this* machine under *this*
   configuration — exactly what ``BENCH_service.json`` tracks across commits
   (like ``shots_per_second`` in ``BENCH_sweep.json``), and exactly what must
   not be part of any bit-identity contract.
 
-With ``verify_identity=True`` every response is additionally checked
+With ``verify_identity=True`` every healthy response is additionally checked
 bit-identical (correction edge set, matching weight, exactness) against a
 direct ``decode_detailed`` on a freshly-built decoder — the acceptance gate
-CI runs in the smoke benchmark.
+CI runs in the smoke benchmark.  Slow-consumer stream outcomes are checked
+against a directly-driven streaming decoder the same way.
 """
 
 from __future__ import annotations
@@ -50,9 +55,9 @@ from .engine import LatencyHistogram
 class ServiceLoadResult:
     """Everything one trace replay measured.
 
-    The deterministic part (``requests``, ``errors``, ``outcome_digest``) is
-    a pure function of the trace spec; all timing fields are machine- and
-    run-dependent measurements.
+    The deterministic part (``requests``, ``errors``, the digests, the fault
+    ledger) is a pure function of the trace spec and fault plan; all timing
+    fields are machine- and run-dependent measurements.
     """
 
     requests: int
@@ -71,6 +76,25 @@ class ServiceLoadResult:
     identity_checked: int = 0
     identity_mismatches: int = 0
     outcome_digest: str = ""
+    #: Requests answered with ``STATUS_ERROR`` (poisoned decode or exhausted
+    #: session-build retries) — disjoint from ``completed`` and ``shed``.
+    error_responses: int = 0
+    #: Session-build retry attempts the service performed.
+    retries: int = 0
+    #: Poisoned requests the fault plan injected, and how many of them the
+    #: service correctly resolved with ``STATUS_ERROR``.  Isolation holds
+    #: exactly when the two are equal.
+    poisoned: int = 0
+    poisoned_errored: int = 0
+    #: Per-scenario completion ledger: offered / poisoned / completed / shed
+    #: / errors plus the healthy completion ratio of each scenario.
+    per_scenario: list = field(default_factory=list)
+    #: Order-stable digest over healthy (non-poisoned, decoded) outcomes only.
+    healthy_digest: str = ""
+    #: Slow-consumer streams replayed, and how many of their outcomes
+    #: diverged from a directly-driven streaming decoder (or never resolved).
+    streams: int = 0
+    stream_mismatches: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -85,6 +109,23 @@ class ServiceLoadResult:
         return self.errors / self.evaluated if self.evaluated else 0.0
 
     @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests that were load-shed."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def min_completion_ratio(self) -> float:
+        """Worst per-scenario healthy completion ratio (fairness floor)."""
+        ratios = [row["completion_ratio"] for row in self.per_scenario]
+        return min(ratios) if ratios else 1.0
+
+    @property
+    def max_completion_ratio(self) -> float:
+        """Best per-scenario healthy completion ratio (fairness ceiling)."""
+        ratios = [row["completion_ratio"] for row in self.per_scenario]
+        return max(ratios) if ratios else 1.0
+
+    @property
     def mean_batch_size(self) -> float:
         total = sum(self.batch_sizes.values())
         if not total:
@@ -97,7 +138,12 @@ class ServiceLoadEngine:
 
     Service sizing (``workers``, ``max_batch_size``, ``max_wait_seconds``,
     ``queue_capacity``, ``max_sessions``, ``overload_policy``) is forwarded
-    to the :class:`repro.service.DecodeService` built per :meth:`run`.
+    to the :class:`repro.service.DecodeService` built per :meth:`run`, as is
+    the fault configuration (``fault_plan``, ``session_build_retries``,
+    ``session_build_backoff_seconds``).  ``drain_timeout_seconds`` bounds the
+    post-replay ``close()``: exceeding it raises
+    :class:`repro.service.ServiceDrainError` instead of hanging — the
+    hostile smoke's hung-close gate.
 
     >>> from repro.service import Scenario, TraceSpec
     >>> spec = TraceSpec("t", (Scenario(3, physical_error_rate=0.02),), requests=6)
@@ -120,11 +166,18 @@ class ServiceLoadEngine:
         overload_policy: str = "block",
         outcome_cache_bytes: int | None = None,
         repeats: int = 1,
+        fault_plan=None,
+        session_build_retries: int = 0,
+        session_build_backoff_seconds: float = 0.0,
+        drain_timeout_seconds: float | None = None,
     ) -> None:
-        from ..service.trace import TraceSpec  # lazy: avoid import cycles
+        from ..service.faults import FaultPlan  # lazy: avoid import cycles
+        from ..service.trace import TraceSpec
 
         if not isinstance(trace, TraceSpec):
             raise TypeError(f"trace must be a TraceSpec, got {type(trace).__name__}")
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise TypeError(f"fault_plan must be a FaultPlan, got {type(fault_plan).__name__}")
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         self.trace = trace
@@ -135,6 +188,10 @@ class ServiceLoadEngine:
         self.max_sessions = max_sessions
         self.overload_policy = overload_policy
         self.outcome_cache_bytes = outcome_cache_bytes
+        self.fault_plan = fault_plan
+        self.session_build_retries = session_build_retries
+        self.session_build_backoff_seconds = session_build_backoff_seconds
+        self.drain_timeout_seconds = drain_timeout_seconds
         #: Replay the whole trace this many times through ONE service; each
         #: pass fully drains before the next starts.  Pass 2+ re-submits the
         #: same syndromes, which is exactly what exercises the
@@ -183,12 +240,48 @@ class ServiceLoadEngine:
             thread.join()
         return responses
 
+    def _start_streams(self, service, trace, outcomes: list, base: int) -> list:
+        """Launch one slow-consumer thread per traced stream; return threads.
+
+        Each thread holds a long-lived :class:`~repro.service.ServiceStream`
+        open, pushing rounds with ``stream_push_gap_seconds`` of think time —
+        the connection occupies the shared scheduler while the single-shot
+        replay runs concurrently.  ``outcomes[base + i]`` stays ``None`` if
+        the stream failed, which :meth:`_verify_streams` counts as a mismatch.
+        """
+        gap = trace.spec.stream_push_gap_seconds
+
+        def consume(slot: int, traced) -> None:
+            key = trace.spec.scenarios[traced.scenario_index].session_key()
+            stream = service.open_stream(key)
+            pending = [stream.begin()]
+            for round_defects in traced.rounds:
+                pending.append(stream.push_round(round_defects))
+                if gap > 0:
+                    time.sleep(gap)
+            outcome = stream.finalize().result()
+            for future in pending:  # all resolved: surface any push error
+                future.result(0)
+            outcomes[slot] = outcome
+
+        threads = [
+            threading.Thread(
+                target=consume,
+                args=(base + i, traced),
+                name=f"slow-consumer-{traced.index}",
+            )
+            for i, traced in enumerate(trace.streams)
+        ]
+        for thread in threads:
+            thread.start()
+        return threads
+
     def run(self, verify_identity: bool = False) -> ServiceLoadResult:
         """Expand the trace, replay it, and aggregate the measurements."""
         from ..service.service import DecodeService
         from ..service.trace import generate_trace
 
-        trace = generate_trace(self.trace)
+        trace = generate_trace(self.trace, fault_plan=self.fault_plan)
         sequence = list(trace.requests) * self.repeats
         service = DecodeService(
             max_batch_size=self.max_batch_size,
@@ -198,25 +291,46 @@ class ServiceLoadEngine:
             max_sessions=self.max_sessions,
             overload_policy=self.overload_policy,
             outcome_cache_bytes=self.outcome_cache_bytes,
+            fault_plan=self.fault_plan,
+            session_build_retries=self.session_build_retries,
+            session_build_backoff_seconds=self.session_build_backoff_seconds,
         )
-        with service:
+        stream_outcomes: list = [None] * (len(trace.streams) * self.repeats)
+        service.start()
+        try:
             started = time.perf_counter()
             responses: list = []
             # Each pass drains fully (the replay helpers block on every
             # future) before the next begins, so pass 2+ submissions see the
-            # outcome cache populated by the previous pass.
-            for _ in range(self.repeats):
+            # outcome cache populated by the previous pass.  Slow-consumer
+            # streams run concurrently with each pass's single-shot traffic.
+            for pass_index in range(self.repeats):
+                stream_threads = self._start_streams(
+                    service, trace, stream_outcomes, pass_index * len(trace.streams)
+                )
                 if self.trace.arrival == "closed":
                     responses.extend(self._replay_closed(service, trace.requests))
                 else:
                     responses.extend(self._replay_open(service, trace.requests))
+                for thread in stream_threads:
+                    thread.join()
             elapsed = time.perf_counter() - started
+            # Drain under a timeout: a hung close is a fault-isolation
+            # failure the caller must see, not a wedged benchmark.
+            service.close(timeout=self.drain_timeout_seconds)
+        except BaseException:
+            if not service.closed:
+                try:
+                    service.close(wait=False)
+                except Exception:
+                    pass
+            raise
         stats = service.stats
         snapshot = service.stats_snapshot()
         result = ServiceLoadResult(
             requests=len(sequence),
             completed=sum(1 for r in responses if r.ok),
-            shed=sum(1 for r in responses if not r.ok),
+            shed=sum(1 for r in responses if r.status == "shed"),
             errors=0,
             evaluated=0,
             elapsed_seconds=elapsed,
@@ -227,24 +341,58 @@ class ServiceLoadEngine:
             session_stats=snapshot["sessions"],
             cache_hits=stats.cache_hits,
             outcome_cache=snapshot["outcome_cache"],
+            error_responses=sum(1 for r in responses if r.status == "error"),
+            retries=stats.retries,
+            streams=len(stream_outcomes),
         )
         self._evaluate_outcomes(trace, sequence, responses, result)
         if verify_identity:
             self._verify_identity(trace, sequence, responses, result)
+            self._verify_streams(trace, stream_outcomes, result)
+        else:
+            result.stream_mismatches = sum(1 for o in stream_outcomes if o is None)
         return result
 
     # ------------------------------------------------------------------
     # outcome evaluation
     # ------------------------------------------------------------------
-    def _evaluate_outcomes(
-        self, trace, sequence, responses, result: ServiceLoadResult
-    ) -> None:
-        """Count logical errors and fold outcomes into the order-stable digest."""
+    def _evaluate_outcomes(self, trace, sequence, responses, result: ServiceLoadResult) -> None:
+        """Count logical errors, fold outcomes into the order-stable digests,
+        and build the per-scenario fairness ledger."""
+        per_scenario = [
+            {
+                "scenario": index,
+                "decoder": scenario.decoder,
+                "offered": 0,
+                "poisoned": 0,
+                "completed": 0,
+                "shed": 0,
+                "errors": 0,
+            }
+            for index, scenario in enumerate(trace.spec.scenarios)
+        ]
         records = []
+        healthy_records = []
         for traced, response in zip(sequence, responses):
-            if not response.ok:
+            row = per_scenario[traced.scenario_index]
+            row["offered"] += 1
+            if traced.poisoned:
+                result.poisoned += 1
+                row["poisoned"] += 1
+                if response.status == "error":
+                    result.poisoned_errored += 1
+                    row["errors"] += 1
+                records.append(f"{traced.index}:poisoned:{response.status}")
+                continue
+            if response.status == "shed":
+                row["shed"] += 1
                 records.append(f"{traced.index}:shed")
                 continue
+            if response.status == "error":
+                row["errors"] += 1
+                records.append(f"{traced.index}:error")
+                continue
+            row["completed"] += 1
             graph = trace.graphs[traced.scenario_index]
             syndrome = traced.request.syndrome
             correction = sorted(response.outcome.correction_edges(graph))
@@ -256,15 +404,21 @@ class ServiceLoadEngine:
                     result.errors += 1
                 record += f":err={int(error)}"
             records.append(record)
+            healthy_records.append(record)
+        for row in per_scenario:
+            healthy_offered = row["offered"] - row["poisoned"]
+            row["completion_ratio"] = (
+                row["completed"] / healthy_offered if healthy_offered else 1.0
+            )
+        result.per_scenario = per_scenario
         result.outcome_digest = content_hash({"outcomes": records})
+        result.healthy_digest = content_hash({"outcomes": healthy_records})
 
-    def _verify_identity(
-        self, trace, sequence, responses, result: ServiceLoadResult
-    ) -> None:
-        """Re-decode every request directly and compare bit for bit."""
+    def _verify_identity(self, trace, sequence, responses, result: ServiceLoadResult) -> None:
+        """Re-decode every healthy request directly and compare bit for bit."""
         decoders: dict[int, object] = {}
         for traced, response in zip(sequence, responses):
-            if not response.ok:
+            if traced.poisoned or not response.ok:
                 continue
             index = traced.scenario_index
             if index not in decoders:
@@ -280,3 +434,30 @@ class ServiceLoadEngine:
                 or direct.is_exact != response.outcome.is_exact
             ):
                 result.identity_mismatches += 1
+
+    def _verify_streams(self, trace, stream_outcomes, result: ServiceLoadResult) -> None:
+        """Check every slow-consumer outcome against a direct streaming decode."""
+        if not stream_outcomes:
+            return
+        from ..stream import get_streaming_decoder
+
+        expected: dict[int, object] = {}
+        for slot, outcome in enumerate(stream_outcomes):
+            traced = trace.streams[slot % len(trace.streams)]
+            if outcome is None:  # the stream thread died before finalize
+                result.stream_mismatches += 1
+                continue
+            graph = trace.graphs[traced.scenario_index]
+            if traced.index not in expected:
+                key = trace.spec.scenarios[traced.scenario_index].session_key()
+                decoder = get_streaming_decoder(key.decoder, graph, key.config)
+                decoder.begin(graph)
+                for round_defects in traced.rounds:
+                    decoder.push_round(round_defects)
+                expected[traced.index] = decoder.finalize()
+            direct = expected[traced.index]
+            if (
+                direct.correction_edges(graph) != outcome.correction_edges(graph)
+                or direct.weight != outcome.weight
+            ):
+                result.stream_mismatches += 1

@@ -23,11 +23,19 @@ per-request cost (the pLUTo argument from PAPERS.md, applied to decoding):
   repeated ``(session key, defect set)`` requests resolve in O(1) at
   submission, before they ever occupy a queue slot.
 * :class:`TraceSpec` / :func:`generate_trace` — seed-stable synthetic request
-  traces (open/closed-loop arrivals, weighted scenario mixes) replayed by
-  :class:`repro.evaluation.ServiceLoadEngine`.
+  traces (open/closed-loop arrivals, weighted scenario mixes, plus the
+  hostile families of :func:`hostile_trace`: flash-crowd bursts, Pareto
+  heavy-tailed inter-arrivals, Zipf session skew, slow-consumer streams)
+  replayed by :class:`repro.evaluation.ServiceLoadEngine`.
+* :class:`~repro.service.faults.FaultPlan` — declarative, seed-stable fault
+  injection (worker stragglers, session-build crashes with bounded
+  retry/backoff, poisoned requests) resolved as isolated
+  :data:`STATUS_ERROR` responses while the rest of the batch completes
+  bit-identically.
 * :func:`service_bench_document` / :func:`validate_service_bench` — the
   schema-validated ``BENCH_service.json`` CI publishes per commit
-  (``python -m repro serve-bench``).
+  (``python -m repro serve-bench``), with the pinned hostile-mix series of
+  ``--hostile-smoke``.
 
 Quickstart (see ``docs/service.md`` for the full tour)::
 
@@ -45,12 +53,22 @@ from .bench import (
     SERVICE_BENCH_SCHEMA_VERSION,
     ServiceBenchSchemaError,
     cache_comparison_entry,
+    fairness_entry,
+    hostile_mix_entry,
     service_bench_document,
     validate_service_bench,
     write_service_bench,
 )
 from .cache import SessionCache, SessionCacheStats, SessionEntry, build_session
+from .faults import (
+    HOSTILE_SMOKE_PLAN,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    poisoned_syndrome,
+)
 from .request import (
+    STATUS_ERROR,
     STATUS_OK,
     STATUS_SHED,
     CodeSpec,
@@ -62,19 +80,26 @@ from .service import (
     OVERLOAD_POLICIES,
     DecodeService,
     ServiceClosedError,
+    ServiceDrainError,
     ServiceOverloadedError,
     ServiceStats,
     ServiceStream,
     service_histogram,
 )
 from .trace import (
+    HOSTILE_FAMILIES,
+    HOSTILE_SMOKE_TRACES,
+    INTERARRIVALS,
     SMOKE_TRACE,
     Scenario,
     Trace,
     TracedRequest,
+    TracedStream,
     TraceSpec,
     generate_trace,
+    hostile_trace,
     make_trace,
+    zipf_scenarios,
 )
 
 __all__ = [
@@ -83,6 +108,8 @@ __all__ = [
     "SERVICE_BENCH_SCHEMA_VERSION",
     "ServiceBenchSchemaError",
     "cache_comparison_entry",
+    "fairness_entry",
+    "hostile_mix_entry",
     "service_bench_document",
     "validate_service_bench",
     "write_service_bench",
@@ -93,6 +120,12 @@ __all__ = [
     "OutcomeCache",
     "OutcomeCacheStats",
     "outcome_cache_key",
+    "HOSTILE_SMOKE_PLAN",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "poisoned_syndrome",
+    "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_SHED",
     "CodeSpec",
@@ -102,15 +135,22 @@ __all__ = [
     "OVERLOAD_POLICIES",
     "DecodeService",
     "ServiceClosedError",
+    "ServiceDrainError",
     "ServiceOverloadedError",
     "ServiceStats",
     "ServiceStream",
     "service_histogram",
+    "HOSTILE_FAMILIES",
+    "HOSTILE_SMOKE_TRACES",
+    "INTERARRIVALS",
     "SMOKE_TRACE",
     "Scenario",
     "Trace",
     "TracedRequest",
+    "TracedStream",
     "TraceSpec",
     "generate_trace",
+    "hostile_trace",
     "make_trace",
+    "zipf_scenarios",
 ]

@@ -8,7 +8,13 @@ session-cache and outcome-cache effectiveness (:mod:`repro.lut`) and the
 bit-identity verdict against direct decodes.  Schema v2 adds the
 ``outcome_cache`` counters plus an optional ``cache_comparison`` pair — the
 same trace replayed with the content-addressed outcome cache off and on —
-so the cache's throughput effect is tracked per commit.  Consecutive
+so the cache's throughput effect is tracked per commit.  Schema v3 adds the
+fault/overload ledger: ``error_responses`` and ``retries`` counters, the
+``shed_rate``, a per-scenario ``fairness`` block (min/max healthy completion
+ratios), the ``healthy_digest`` over non-poisoned outcomes, the (nullable)
+``fault_plan`` in force, and a (nullable) ``hostile_mix`` series — the
+pinned hostile trace families of :data:`repro.service.HOSTILE_SMOKE_TRACES`
+replayed under :data:`repro.service.HOSTILE_SMOKE_PLAN`.  Consecutive
 artifacts form the service trajectory, the
 front-end counterpart of ``BENCH_sweep.json`` (:mod:`repro.sweeps.bench`):
 a scheduling or batching regression shows up as a latency/throughput shift
@@ -31,7 +37,13 @@ from ..evaluation.engine import LatencyHistogram
 #: v2: ``cache_hits`` / ``outcome_cache`` counters and the (nullable)
 #: ``cache_comparison`` off/on pair; batch accounting becomes
 #: ``batched + cache_hits == completed``.
-SERVICE_BENCH_SCHEMA_VERSION = 2
+#: v3: fault/overload accounting — ``error_responses``, ``retries``,
+#: ``shed_rate``, ``fairness``, ``healthy_digest``, the (nullable)
+#: ``fault_plan``, and the (nullable) ``hostile_mix`` series; the request
+#: ledger becomes ``completed + shed + error_responses == requests`` and
+#: batch accounting ``batched + cache_hits == completed + error_responses``
+#: (failed requests occupy batch slots too).
+SERVICE_BENCH_SCHEMA_VERSION = 3
 
 
 class ServiceBenchSchemaError(ValueError):
@@ -72,6 +84,63 @@ def cache_comparison_entry(off_result, on_result) -> dict:
     return {"off": _side(off_result), "on": _side(on_result), "throughput_ratio": ratio}
 
 
+def fairness_entry(result) -> dict:
+    """The ``fairness`` block: per-scenario healthy completion ratios.
+
+    Each scenario's ratio is ``completed / (offered - poisoned)`` — poisoned
+    requests are the fault plan's, not the scheduler's, so they are excluded
+    from the denominator.  ``min``/``max`` summarise the spread: a scheduler
+    that starves one session key under Zipf skew shows up as a low ``min``.
+    """
+    return {
+        "per_scenario": [dict(row) for row in result.per_scenario],
+        "min_completion_ratio": result.min_completion_ratio,
+        "max_completion_ratio": result.max_completion_ratio,
+    }
+
+
+def hostile_mix_entry(family: str, trace, plan, result) -> dict:
+    """One ``hostile_mix`` series entry: a hostile family replayed faulted.
+
+    ``family`` names the traffic shape (one of
+    :data:`repro.service.HOSTILE_FAMILIES`), ``trace`` / ``plan`` the pinned
+    :class:`~repro.service.trace.TraceSpec` and
+    :class:`~repro.service.faults.FaultPlan` replayed, and ``result`` the
+    :class:`repro.evaluation.ServiceLoadResult`.  ``isolated`` is the
+    series' pass/fail verdict: every poisoned request resolved as an error,
+    no healthy request was lost to one, and identity held.
+    """
+    isolated = (
+        result.poisoned_errored == result.poisoned
+        and result.error_responses == result.poisoned
+        and result.identity_mismatches == 0
+        and result.stream_mismatches == 0
+    )
+    return {
+        "family": family,
+        "trace_hash": trace.trace_hash(),
+        "plan_hash": plan.plan_hash(),
+        "requests": result.requests,
+        "completed": result.completed,
+        "shed": result.shed,
+        "error_responses": result.error_responses,
+        "poisoned": result.poisoned,
+        "poisoned_errored": result.poisoned_errored,
+        "retries": result.retries,
+        "streams": result.streams,
+        "stream_mismatches": result.stream_mismatches,
+        "shed_rate": result.shed_rate,
+        "min_completion_ratio": result.min_completion_ratio,
+        "max_completion_ratio": result.max_completion_ratio,
+        "throughput_rps": result.throughput_rps,
+        "latency_p99_us": result.latency.percentile(99) * 1e6,
+        "identity_checked": result.identity_checked,
+        "identity_mismatches": result.identity_mismatches,
+        "healthy_digest": result.healthy_digest,
+        "isolated": isolated,
+    }
+
+
 def service_bench_document(
     trace,
     result,
@@ -79,6 +148,8 @@ def service_bench_document(
     commit: str | None = None,
     timestamp: str | None = None,
     cache_comparison: dict | None = None,
+    fault_plan=None,
+    hostile_mix: list | None = None,
 ) -> dict:
     """Build the BENCH_service document for one load-engine run.
 
@@ -86,8 +157,11 @@ def service_bench_document(
     :class:`repro.evaluation.ServiceLoadEngine` replayed, ``result`` the
     :class:`repro.evaluation.ServiceLoadResult` it returned; the document
     embeds the trace (with its content hash) next to the measurements.
-    ``cache_comparison`` is an optional :func:`cache_comparison_entry` block
-    (``None`` when no off/on pair was run — the key is always present).
+    ``cache_comparison`` is an optional :func:`cache_comparison_entry` block,
+    ``fault_plan`` the :class:`~repro.service.faults.FaultPlan` the primary
+    run injected, and ``hostile_mix`` an optional list of
+    :func:`hostile_mix_entry` blocks — all ``None`` when not run (the keys
+    are always present).
     """
     # Lazy import: repro.sweeps pulls the evaluation experiment stack, which
     # a service-only consumer should not pay for at import time.
@@ -119,11 +193,18 @@ def service_bench_document(
         "cache_hits": result.cache_hits,
         "outcome_cache": dict(result.outcome_cache),
         "cache_comparison": cache_comparison,
+        "error_responses": result.error_responses,
+        "retries": result.retries,
+        "shed_rate": result.shed_rate,
+        "fairness": fairness_entry(result),
+        "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
+        "hostile_mix": hostile_mix,
         "identity": {
             "checked": result.identity_checked,
             "mismatches": result.identity_mismatches,
         },
         "outcome_digest": result.outcome_digest,
+        "healthy_digest": result.healthy_digest,
     }
 
 
@@ -169,8 +250,15 @@ _TOP_REQUIRED = (
     "cache_hits",
     "outcome_cache",
     "cache_comparison",
+    "error_responses",
+    "retries",
+    "shed_rate",
+    "fairness",
+    "fault_plan",
+    "hostile_mix",
     "identity",
     "outcome_digest",
+    "healthy_digest",
 )
 
 
@@ -209,6 +297,91 @@ def _check_cache_comparison(comparison) -> None:
     _check_number(comparison["throughput_ratio"], "cache_comparison.throughput_ratio", low=0.0)
 
 
+def _check_fairness(entry, path: str) -> None:
+    _require(isinstance(entry, dict), f"{path}: expected an object")
+    for key in ("per_scenario", "min_completion_ratio", "max_completion_ratio"):
+        _require(key in entry, f"{path}: missing key {key!r}")
+    _check_number(entry["min_completion_ratio"], f"{path}.min_completion_ratio", 0.0, 1.0)
+    _check_number(entry["max_completion_ratio"], f"{path}.max_completion_ratio", 0.0, 1.0)
+    _require(
+        entry["min_completion_ratio"] <= entry["max_completion_ratio"],
+        f"{path}: min_completion_ratio exceeds max_completion_ratio",
+    )
+    rows = entry["per_scenario"]
+    _require(isinstance(rows, list) and rows, f"{path}.per_scenario must be a non-empty array")
+    for index, row in enumerate(rows):
+        row_path = f"{path}.per_scenario[{index}]"
+        _require(isinstance(row, dict), f"{row_path}: expected an object")
+        for key in ("scenario", "offered", "poisoned", "completed", "shed", "errors"):
+            _require(key in row, f"{row_path}: missing key {key!r}")
+            _check_number(row[key], f"{row_path}.{key}", low=0)
+        _check_number(row["completion_ratio"], f"{row_path}.completion_ratio", 0.0, 1.0)
+        # Poisoned, completed and shed are disjoint request sets; errors may
+        # overlap poisoned (a poisoned request resolving as an error).
+        _require(
+            row["poisoned"] + row["completed"] + row["shed"] <= row["offered"],
+            f"{row_path}: ledger exceeds offered requests",
+        )
+
+
+def _check_fault_plan(entry, path: str) -> None:
+    _require(isinstance(entry, dict), f"{path} must be an object or null")
+    for key in (
+        "name",
+        "seed",
+        "straggler_workers",
+        "straggler_delay_seconds",
+        "session_crash_rate",
+        "session_crash_attempts",
+        "poison_rate",
+    ):
+        _require(key in entry, f"{path}: missing key {key!r}")
+    _check_number(entry["poison_rate"], f"{path}.poison_rate", 0.0, 1.0)
+    _check_number(entry["session_crash_rate"], f"{path}.session_crash_rate", 0.0, 1.0)
+
+
+def _check_hostile_mix(entries) -> None:
+    _require(isinstance(entries, list) and entries, "hostile_mix must be a non-empty array or null")
+    for index, entry in enumerate(entries):
+        path = f"hostile_mix[{index}]"
+        _require(isinstance(entry, dict), f"{path}: expected an object")
+        for key in ("family", "trace_hash", "plan_hash", "healthy_digest"):
+            _require(
+                key in entry and isinstance(entry[key], str) and entry[key],
+                f"{path}: {key} must be a non-empty string",
+            )
+        for key in (
+            "requests",
+            "completed",
+            "shed",
+            "error_responses",
+            "poisoned",
+            "poisoned_errored",
+            "retries",
+            "streams",
+            "stream_mismatches",
+            "throughput_rps",
+            "latency_p99_us",
+            "identity_checked",
+            "identity_mismatches",
+        ):
+            _require(key in entry, f"{path}: missing key {key!r}")
+            _check_number(entry[key], f"{path}.{key}", low=0)
+        _check_number(entry["shed_rate"], f"{path}.shed_rate", 0.0, 1.0)
+        _check_number(entry["min_completion_ratio"], f"{path}.min_completion_ratio", 0.0, 1.0)
+        _check_number(entry["max_completion_ratio"], f"{path}.max_completion_ratio", 0.0, 1.0)
+        _require(
+            entry["completed"] + entry["shed"] + entry["error_responses"]
+            == entry["requests"],
+            f"{path}: completed + shed + error_responses must equal requests",
+        )
+        _require(
+            entry["poisoned_errored"] <= entry["poisoned"],
+            f"{path}: poisoned_errored cannot exceed poisoned",
+        )
+        _require(isinstance(entry["isolated"], bool), f"{path}.isolated must be a bool")
+
+
 def validate_service_bench(document: dict) -> None:
     """Validate a BENCH_service document; raises on any schema violation.
 
@@ -225,7 +398,7 @@ def validate_service_bench(document: dict) -> None:
         f"schema_version {document['schema_version']!r} != "
         f"{SERVICE_BENCH_SCHEMA_VERSION}",
     )
-    for key in ("commit", "timestamp", "outcome_digest"):
+    for key in ("commit", "timestamp", "outcome_digest", "healthy_digest"):
         _require(
             isinstance(document[key], str) and document[key],
             f"{key} must be a non-empty string",
@@ -241,9 +414,13 @@ def validate_service_bench(document: dict) -> None:
     _check_number(document["requests"], "requests", low=1)
     _check_number(document["completed"], "completed", 0, document["requests"])
     _check_number(document["shed"], "shed", 0, document["requests"])
+    _check_number(document["error_responses"], "error_responses", 0, document["requests"])
+    _check_number(document["retries"], "retries", low=0)
+    _check_number(document["shed_rate"], "shed_rate", 0.0, 1.0)
     _require(
-        document["completed"] + document["shed"] == document["requests"],
-        "completed + shed must equal requests",
+        document["completed"] + document["shed"] + document["error_responses"]
+        == document["requests"],
+        "completed + shed + error_responses must equal requests",
     )
     _check_number(document["evaluated"], "evaluated", 0, document["completed"])
     _check_number(document["errors"], "errors", 0, max(document["evaluated"], 0))
@@ -266,8 +443,10 @@ def validate_service_bench(document: dict) -> None:
         batched_requests += int(size) * count
     _check_number(document["cache_hits"], "cache_hits", 0, document["completed"])
     _require(
-        batched_requests + document["cache_hits"] == document["completed"],
-        "batched requests + cache_hits must account for every completed request",
+        batched_requests + document["cache_hits"]
+        == document["completed"] + document["error_responses"],
+        "batched requests + cache_hits must account for every completed or "
+        "errored request (failed requests occupy batch slots too)",
     )
     sessions = document["sessions"]
     _require(isinstance(sessions, dict), "sessions must be an object")
@@ -278,6 +457,11 @@ def validate_service_bench(document: dict) -> None:
     comparison = document["cache_comparison"]
     if comparison is not None:
         _check_cache_comparison(comparison)
+    _check_fairness(document["fairness"], "fairness")
+    if document["fault_plan"] is not None:
+        _check_fault_plan(document["fault_plan"], "fault_plan")
+    if document["hostile_mix"] is not None:
+        _check_hostile_mix(document["hostile_mix"])
     identity = document["identity"]
     _require(isinstance(identity, dict), "identity must be an object")
     for key in ("checked", "mismatches"):

@@ -123,6 +123,20 @@ class SessionCache:
                 self.stats.evictions += 1
             return entry
 
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the counters plus the live-entry count.
+
+        Every counter mutation in :meth:`acquire` happens under the cache
+        lock; taking the same lock here means a reader can never observe a
+        torn combination (e.g. a hit counted but the entry not yet visible).
+        :meth:`DecodeService.stats_snapshot` reads session statistics through
+        this method only.
+        """
+        with self._lock:
+            snapshot = self.stats.to_dict()
+            snapshot["live"] = len(self._entries)
+            return snapshot
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -27,6 +27,11 @@ STATUS_OK = "ok"
 #: Response status: the request was load-shed (bounded queue full under the
 #: ``"shed"`` overload policy) and never reached a decoder.
 STATUS_SHED = "shed"
+#: Response status: the request failed inside the service — its decode
+#: raised (e.g. a poisoned/malformed syndrome) or its session build kept
+#: crashing past the retry budget.  The failure is isolated: every other
+#: request in the same micro-batch completes normally.
+STATUS_ERROR = "error"
 
 
 @dataclass(frozen=True)
@@ -149,6 +154,9 @@ class DecodeResponse:
     earlier decode of the same session key and defect set, which is exact
     because decoding is deterministic.  Cached responses never occupy a
     micro-batch slot, so their ``batch_size`` is 0.
+
+    ``error`` carries the failure summary of a :data:`STATUS_ERROR`
+    response (``"<ExceptionType>: <message>"``); ``None`` otherwise.
     """
 
     request: DecodeRequest
@@ -158,8 +166,9 @@ class DecodeResponse:
     latency_seconds: float = 0.0
     batch_size: int = 0
     cached: bool = False
+    error: str | None = None
 
     @property
     def ok(self) -> bool:
-        """True when the request was decoded (not shed)."""
+        """True when the request was decoded (not shed or failed)."""
         return self.status == STATUS_OK

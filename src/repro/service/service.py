@@ -47,7 +47,9 @@ from ..lut.outcome_cache import OutcomeCache, outcome_cache_key
 from ..stream import get_streaming_decoder
 from .batcher import Batch, MicroBatcher
 from .cache import SessionCache, SessionFactory, build_session
+from .faults import FaultInjector, FaultPlan
 from .request import (
+    STATUS_ERROR,
     STATUS_SHED,
     DecodeRequest,
     DecodeResponse,
@@ -76,6 +78,16 @@ class ServiceOverloadedError(RuntimeError):
     """Raised when the bounded queue stays full past the submission timeout."""
 
 
+class ServiceDrainError(RuntimeError):
+    """Raised by :meth:`DecodeService.close` when the drain exceeds its timeout.
+
+    A clean drain is part of the service's fault-isolation contract: stuck
+    here means some admitted work (a wedged batch, a hung worker) never
+    resolved — exactly what the hostile smoke gate must fail on rather than
+    hang CI.
+    """
+
+
 @dataclass
 class ServiceStats:
     """Aggregate counters of one :class:`DecodeService` instance.
@@ -87,6 +99,14 @@ class ServiceStats:
     submitted: int = 0
     completed: int = 0
     shed: int = 0
+    #: Requests resolved with a :data:`~repro.service.request.STATUS_ERROR`
+    #: response — a failed decode (e.g. poisoned syndrome) or an exhausted
+    #: session-build retry budget.  Every submitted request is accounted for:
+    #: ``submitted == completed + shed + errors + in-flight``.
+    errors: int = 0
+    #: Session-build retry attempts (each failed build below the retry
+    #: budget counts one).
+    retries: int = 0
     batches: int = 0
     stream_ops: int = 0
     cache_hits: int = 0
@@ -219,6 +239,10 @@ class DecodeService:
         clock: Callable[[], float] = time.monotonic,
         session_factory: SessionFactory = build_session,
         outcome_cache_bytes: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        session_build_retries: int = 0,
+        session_build_backoff_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -229,9 +253,26 @@ class DecodeService:
                 f"overload_policy must be one of {OVERLOAD_POLICIES}, "
                 f"got {overload_policy!r}"
             )
+        if session_build_retries < 0:
+            raise ValueError("session_build_retries must be >= 0")
+        if session_build_backoff_seconds < 0:
+            raise ValueError("session_build_backoff_seconds must be non-negative")
         self.workers = workers
         self.overload_policy = overload_policy
+        self.session_build_retries = session_build_retries
+        self.session_build_backoff_seconds = session_build_backoff_seconds
         self._clock = clock
+        self._sleep = sleep
+        # Deterministic fault injection (repro.service.faults): wraps the
+        # session factory with seed-stable build crashes and delays straggler
+        # workers.  None, or an inactive plan, injects nothing.
+        self._injector: FaultInjector | None = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and fault_plan.is_active()
+            else None
+        )
+        if self._injector is not None:
+            session_factory = self._injector.wrap_factory(session_factory)
         self._queue: queue_module.Queue = queue_module.Queue(maxsize=queue_capacity)
         self._batcher = MicroBatcher(
             max_batch_size=max_batch_size,
@@ -289,8 +330,15 @@ class DecodeService:
         self._dispatcher.start()
         return self
 
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting work, drain everything already admitted, shut down."""
+    def close(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work, drain everything already admitted, shut down.
+
+        ``timeout`` bounds the dispatcher drain: if admitted work has not
+        drained within ``timeout`` seconds, :class:`ServiceDrainError` is
+        raised instead of hanging forever — the hostile smoke benchmark runs
+        ``close`` under a timeout so a non-isolated fault fails CI instead of
+        wedging it.  ``None`` (the default) waits indefinitely.
+        """
         if self._closed:
             return
         self._closed = True
@@ -304,7 +352,12 @@ class DecodeService:
                 job.future.set_exception(ServiceClosedError("service closed before start"))
             return
         self._queue.put(_STOP)
-        self._dispatcher.join()
+        self._dispatcher.join(timeout)
+        if self._dispatcher.is_alive():
+            raise ServiceDrainError(
+                f"service failed to drain within {timeout}s: the dispatcher is "
+                "still processing admitted work (wedged batch or hung worker?)"
+            )
         self._pool.shutdown(wait=wait)
         # A submit() racing close() can slip its job in behind the sentinel
         # (the _closed check and the put are not atomic); the dispatcher has
@@ -353,6 +406,10 @@ class DecodeService:
                     self.stats.submitted += 1
                     self.stats.completed += 1
                     self.stats.cache_hits += 1
+                    # A hit never queues, but it IS a completed request: give
+                    # both histograms one sample each so their counts stay in
+                    # lock-step with `completed` (queue delay is exactly 0).
+                    self.stats.queue_delay.add(0.0)
                     self.stats.latency.add(latency)
                 future.set_result(
                     DecodeResponse(
@@ -371,7 +428,11 @@ class DecodeService:
                 self._queue.put(job, timeout=timeout)
         except queue_module.Full:
             if self.overload_policy == "shed":
+                # A shed request was still *offered* — count it in submitted
+                # too, so `submitted == completed + shed + errors + in-flight`
+                # holds and the bench artifacts report true offered load.
                 with self._stats_lock:
+                    self.stats.submitted += 1
                     self.stats.shed += 1
                 future.set_result(DecodeResponse(request=request, status=STATUS_SHED))
                 return future
@@ -461,14 +522,58 @@ class DecodeService:
             self.stats.batch_sizes[batch.size] += 1
         self._pool.submit(self._run_batch, batch)
 
+    def _acquire_with_retry(self, batch: Batch):
+        """Build/fetch the batch's session, retrying crashes with backoff.
+
+        Returns the cache entry, or the final exception once the bounded
+        retry budget (``session_build_retries``) is exhausted.  Transient
+        build crashes — real ones or injected by a
+        :class:`~repro.service.faults.FaultPlan` — are therefore invisible
+        to callers beyond added latency.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._sessions.acquire(batch.key)
+            except BaseException as exc:
+                if attempt >= self.session_build_retries:
+                    return exc
+                attempt += 1
+                with self._stats_lock:
+                    self.stats.retries += 1
+                if self.session_build_backoff_seconds > 0:
+                    self._sleep(self.session_build_backoff_seconds * attempt)
+
+    def _fail_job(self, job: _DecodeJob, exc: BaseException, started: float) -> None:
+        """Resolve one job with a STATUS_ERROR response (isolated failure)."""
+        done = self._clock()
+        with self._stats_lock:
+            self.stats.errors += 1
+        job.future.set_result(
+            DecodeResponse(
+                request=job.request,
+                status=STATUS_ERROR,
+                queue_delay_seconds=max(0.0, started - job.arrival_seconds),
+                latency_seconds=max(0.0, done - job.arrival_seconds),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )
+
     def _run_batch(self, batch: Batch) -> None:
+        if self._injector is not None:
+            delay = self._injector.worker_delay()
+            if delay > 0:  # straggling worker: timing-only, never outcomes
+                self._sleep(delay)
         started = self._clock()
-        try:
-            entry = self._sessions.acquire(batch.key)
-        except BaseException as exc:  # session build failed: fail the batch
+        entry = self._acquire_with_retry(batch)
+        if isinstance(entry, BaseException):
+            # Session build kept crashing past the retry budget.  The batch
+            # fails as responses, not exceptions: a crashed build is a
+            # service-side fault, and callers see a uniform STATUS_ERROR
+            # surface whether one request or a whole batch was affected.
             for job in batch.items:
                 if job.future.set_running_or_notify_cancel():
-                    job.future.set_exception(exc)
+                    self._fail_job(job, entry, started)
             return
         with entry.lock:
             for job in batch.items:
@@ -477,7 +582,16 @@ class DecodeService:
                 try:
                     outcome = entry.session.decode_detailed(job.request.syndrome)
                 except BaseException as exc:
-                    job.future.set_exception(exc)
+                    # Isolation: a poisoned request resolves ITS future with
+                    # STATUS_ERROR; the rest of the batch decodes normally on
+                    # the same session.  The raise may have left the stateful
+                    # decoder half-mutated, so restore the pristine state
+                    # before the next request touches it.
+                    try:
+                        entry.session.reset()
+                    except BaseException as reset_exc:  # pragma: no cover
+                        exc = reset_exc
+                    self._fail_job(job, exc, started)
                     continue
                 if self.outcome_cache is not None and job.cache_key is not None:
                     self.outcome_cache.put(job.cache_key, outcome)
@@ -509,6 +623,8 @@ class DecodeService:
                 "submitted": stats.submitted,
                 "completed": stats.completed,
                 "shed": stats.shed,
+                "errors": stats.errors,
+                "retries": stats.retries,
                 "batches": stats.batches,
                 "stream_ops": stats.stream_ops,
                 "cache_hits": stats.cache_hits,
@@ -517,12 +633,17 @@ class DecodeService:
                 "queue_delay_p99_us": stats.queue_delay.percentile(99) * 1e6,
                 "latency_p99_us": stats.latency.percentile(99) * 1e6,
             }
-        snapshot["sessions"] = self._sessions.stats.to_dict()
-        snapshot["sessions"]["live"] = len(self._sessions)
+        # The cache takes its own lock: workers mutate the hit/miss/eviction
+        # counters concurrently with this read, and an unlocked read could
+        # observe a torn combination.
+        snapshot["sessions"] = self._sessions.stats_snapshot()
         snapshot["outcome_cache"] = (
             self.outcome_cache.stats_snapshot()
             if self.outcome_cache is not None
             else {"enabled": False}
+        )
+        snapshot["faults"] = (
+            self._injector.stats_snapshot() if self._injector is not None else None
         )
         return snapshot
 

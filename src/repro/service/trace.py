@@ -17,6 +17,23 @@ count, or completion order.  Replaying a trace therefore decodes identical
 syndromes in an identical submission order on every machine, which is what
 makes service benchmarks comparable across commits
 (``BENCH_service.json``) and lets tests pin worker-count independence.
+
+Beyond the well-behaved mixes, the spec describes **hostile traffic
+families** (see :func:`hostile_trace`) through the same machinery:
+
+* *flash crowds* — ``burst_size``/``burst_gap_seconds`` make open-loop
+  arrivals land in synchronized bursts instead of a smooth schedule;
+* *heavy tails* — ``interarrival="pareto"`` draws Pareto (infinite-variance)
+  inter-arrival gaps at the same mean rate, so load arrives in clumps;
+* *session-key skew* — :func:`zipf_scenarios` expands one scenario into many
+  distinct session keys under a Zipf popularity law, sized to defeat the
+  service's session LRU;
+* *slow consumers* — ``slow_streams``/``stream_push_gap_seconds`` add
+  long-lived streaming connections that push rounds with think time between
+  them, occupying the shared scheduler while single-shot traffic competes.
+
+All four stay bit-identical under replay: burst shapes are arithmetic,
+Pareto gaps and stream shots come from ``stable_seed``-derived RNG streams.
 """
 
 from __future__ import annotations
@@ -31,10 +48,17 @@ import numpy as np
 from ..api.hashing import content_hash, stable_seed
 from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.syndrome import SyndromeSampler
+from .faults import FaultPlan, poisoned_syndrome
 from .request import CodeSpec, DecodeRequest, SessionKey
 
 #: Supported arrival processes.
 ARRIVAL_PROCESSES = ("open", "closed")
+
+#: Supported open-loop inter-arrival distributions (with ``rate_rps`` set).
+INTERARRIVALS = ("exponential", "pareto")
+
+#: The hostile traffic families :func:`hostile_trace` can build.
+HOSTILE_FAMILIES = ("flash-crowd", "pareto", "zipf", "slow-consumer")
 
 
 @dataclass(frozen=True)
@@ -105,6 +129,21 @@ class TraceSpec:
     rate_rps: float | None = None
     clients: int = 4
     think_seconds: float = 0.0
+    #: Open-loop inter-arrival law when ``rate_rps`` is set: "exponential"
+    #: (Poisson process, the default) or "pareto" (heavy-tailed clumps at
+    #: the same mean rate; tail index ``pareto_alpha``).
+    interarrival: str = "exponential"
+    pareto_alpha: float = 1.5
+    #: Flash-crowd shape: when set, open-loop arrivals land in synchronized
+    #: bursts of ``burst_size`` requests, ``burst_gap_seconds`` apart
+    #: (takes precedence over ``rate_rps``).
+    burst_size: int | None = None
+    burst_gap_seconds: float = 0.0
+    #: Slow-consumer streams replayed alongside the single-shot traffic:
+    #: each pushes its rounds with ``stream_push_gap_seconds`` of think time
+    #: between consecutive rounds, holding its connection open.
+    slow_streams: int = 0
+    stream_push_gap_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -129,12 +168,28 @@ class TraceSpec:
             raise ValueError("clients must be >= 1")
         if self.think_seconds < 0:
             raise ValueError("think_seconds must be non-negative")
+        if self.interarrival not in INTERARRIVALS:
+            raise ValueError(
+                f"interarrival must be one of {INTERARRIVALS}, got {self.interarrival!r}"
+            )
+        if self.pareto_alpha <= 1.0:
+            raise ValueError("pareto_alpha must be > 1 (finite mean gap)")
+        if self.burst_size is not None and self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1 (or None)")
+        if self.burst_gap_seconds < 0:
+            raise ValueError("burst_gap_seconds must be non-negative")
+        if self.slow_streams < 0:
+            raise ValueError("slow_streams must be >= 0")
+        if self.stream_push_gap_seconds < 0:
+            raise ValueError("stream_push_gap_seconds must be non-negative")
 
     def trace_hash(self) -> str:
         """16-hex-digit content hash of the workload-determining fields.
 
         Excludes the display ``name`` (renaming a trace keeps its identity),
-        mirroring :meth:`repro.sweeps.SweepSpec.spec_hash`.
+        mirroring :meth:`repro.sweeps.SweepSpec.spec_hash`.  Hostile-family
+        fields enter the payload only at non-default values, so every
+        pre-existing trace keeps its pinned hash.
         """
         payload = {
             "scenarios": [scenario.to_dict() for scenario in self.scenarios],
@@ -145,6 +200,15 @@ class TraceSpec:
             "clients": self.clients,
             "think_seconds": self.think_seconds,
         }
+        if self.interarrival != "exponential":
+            payload["interarrival"] = self.interarrival
+            payload["pareto_alpha"] = self.pareto_alpha
+        if self.burst_size is not None:
+            payload["burst_size"] = self.burst_size
+            payload["burst_gap_seconds"] = self.burst_gap_seconds
+        if self.slow_streams:
+            payload["slow_streams"] = self.slow_streams
+            payload["stream_push_gap_seconds"] = self.stream_push_gap_seconds
         return content_hash(payload)
 
     def to_dict(self) -> dict:
@@ -164,6 +228,12 @@ class TraceSpec:
             rate_rps=None if data.get("rate_rps") is None else float(data["rate_rps"]),
             clients=int(data.get("clients", 4)),
             think_seconds=float(data.get("think_seconds", 0.0)),
+            interarrival=str(data.get("interarrival", "exponential")),
+            pareto_alpha=float(data.get("pareto_alpha", 1.5)),
+            burst_size=None if data.get("burst_size") is None else int(data["burst_size"]),
+            burst_gap_seconds=float(data.get("burst_gap_seconds", 0.0)),
+            slow_streams=int(data.get("slow_streams", 0)),
+            stream_push_gap_seconds=float(data.get("stream_push_gap_seconds", 0.0)),
         )
 
     @classmethod
@@ -183,6 +253,19 @@ class TracedRequest:
     #: Scheduled submission offset from the start of the replay (seconds);
     #: 0.0 for back-to-back and closed-loop traces.
     arrival_offset_seconds: float
+    #: True when a fault plan replaced the syndrome with a malformed one —
+    #: the service must answer STATUS_ERROR without disturbing its batch.
+    poisoned: bool = False
+
+
+@dataclass(frozen=True)
+class TracedStream:
+    """One expanded slow-consumer stream: its session plus the round pushes."""
+
+    index: int
+    scenario_index: int
+    #: Per-measurement-round defect tuples, the ``push_round`` schedule.
+    rounds: tuple[tuple[int, ...], ...]
 
 
 @dataclass(frozen=True)
@@ -191,15 +274,38 @@ class Trace:
 
     ``graphs[i]`` is the decoding graph of ``spec.scenarios[i]`` — shared by
     the ground-truth check and the direct-decode identity verifier so they
-    never rebuild per request.
+    never rebuild per request.  ``streams`` holds the expanded slow-consumer
+    streams (empty unless ``spec.slow_streams`` is set).
     """
 
     spec: TraceSpec
     requests: tuple[TracedRequest, ...]
     graphs: tuple[DecodingGraph, ...]
+    streams: tuple[TracedStream, ...] = ()
 
 
-def generate_trace(spec: TraceSpec) -> Trace:
+def _arrival_offsets(spec: TraceSpec) -> np.ndarray:
+    """The deterministic submission schedule of an expanded trace."""
+    if spec.arrival != "open":
+        return np.zeros(spec.requests)
+    if spec.burst_size is not None:
+        # Flash crowd: whole bursts arrive at one instant, gaps between them.
+        bursts = np.arange(spec.requests) // spec.burst_size
+        return bursts * spec.burst_gap_seconds
+    if spec.rate_rps is None:
+        return np.zeros(spec.requests)
+    arrival_rng = np.random.default_rng(stable_seed(spec.seed, "arrivals"))
+    if spec.interarrival == "pareto":
+        # numpy's pareto(a) is Lomax with mean 1/(a-1); rescale so the mean
+        # gap matches 1/rate_rps — same offered load, heavy-tailed clumps.
+        gaps = arrival_rng.pareto(spec.pareto_alpha, size=spec.requests)
+        gaps *= (spec.pareto_alpha - 1.0) / spec.rate_rps
+    else:
+        gaps = arrival_rng.exponential(1.0 / spec.rate_rps, size=spec.requests)
+    return np.cumsum(gaps)
+
+
+def generate_trace(spec: TraceSpec, fault_plan: FaultPlan | None = None) -> Trace:
     """Expand a :class:`TraceSpec` into its deterministic request sequence.
 
     Scenario assignment uses a dedicated RNG stream seeded
@@ -207,6 +313,12 @@ def generate_trace(spec: TraceSpec) -> Trace:
     :class:`~repro.graphs.syndrome.SyndromeSampler` seeded
     ``stable_seed(seed, f"scenario={i}")`` and are drawn in request order —
     so the trace is bit-identical across machines and replays.
+
+    With a ``fault_plan``, requests it selects (``plan.poisons(index)``) have
+    their syndrome replaced by a malformed one *after* the healthy draw, so
+    every non-poisoned request carries exactly the syndrome it would carry in
+    a fault-free replay — which is what lets the hostile smoke compare
+    healthy-request digests across plans and worker counts.
 
     >>> trace = generate_trace(
     ...     TraceSpec("t", (Scenario(3, physical_error_rate=0.02),), requests=3)
@@ -218,11 +330,7 @@ def generate_trace(spec: TraceSpec) -> Trace:
     weights = np.array([s.weight for s in spec.scenarios], dtype=float)
     weights /= weights.sum()
     scenario_indices = mix_rng.choice(len(spec.scenarios), size=spec.requests, p=weights)
-    if spec.arrival == "open" and spec.rate_rps is not None:
-        arrival_rng = np.random.default_rng(stable_seed(spec.seed, "arrivals"))
-        offsets = np.cumsum(arrival_rng.exponential(1.0 / spec.rate_rps, size=spec.requests))
-    else:
-        offsets = np.zeros(spec.requests)
+    offsets = _arrival_offsets(spec)
     graphs = tuple(scenario.code().build_graph() for scenario in spec.scenarios)
     keys = tuple(scenario.session_key() for scenario in spec.scenarios)
     samplers = [
@@ -233,6 +341,9 @@ def generate_trace(spec: TraceSpec) -> Trace:
     for index, scenario_index in enumerate(scenario_indices):
         scenario_index = int(scenario_index)
         syndrome = samplers[scenario_index].sample()
+        poisoned = fault_plan is not None and fault_plan.poisons(index)
+        if poisoned:
+            syndrome = poisoned_syndrome(len(graphs[scenario_index].vertices), index)
         requests.append(
             TracedRequest(
                 index=index,
@@ -243,9 +354,25 @@ def generate_trace(spec: TraceSpec) -> Trace:
                     request_id=index,
                 ),
                 arrival_offset_seconds=float(offsets[index]),
+                poisoned=poisoned,
             )
         )
-    return Trace(spec=spec, requests=tuple(requests), graphs=graphs)
+    streams = []
+    for stream_index in range(spec.slow_streams):
+        scenario_index = stream_index % len(spec.scenarios)
+        sampler = SyndromeSampler(
+            graphs[scenario_index],
+            seed=stable_seed(spec.seed, f"stream={stream_index}"),
+        )
+        _, rounds = sampler.sample_rounds()
+        streams.append(
+            TracedStream(
+                index=stream_index,
+                scenario_index=scenario_index,
+                rounds=tuple(tuple(r) for r in rounds),
+            )
+        )
+    return Trace(spec=spec, requests=tuple(requests), graphs=graphs, streams=tuple(streams))
 
 
 def make_trace(
@@ -279,6 +406,116 @@ def make_trace(
     return TraceSpec(name=name, scenarios=scenarios, requests=requests, **kwargs)
 
 
+def zipf_scenarios(
+    base: Scenario,
+    sessions: int,
+    *,
+    exponent: float = 1.1,
+    rate_step: float = 0.002,
+) -> tuple[Scenario, ...]:
+    """Expand one scenario into ``sessions`` distinct session keys, Zipf-weighted.
+
+    Key ``k`` differs from the base by a small physical-error-rate offset
+    (``base.physical_error_rate + k * rate_step``) — a distinct
+    :class:`~repro.service.request.CodeSpec`, hence a distinct decoding graph
+    and session — and carries weight ``(k + 1) ** -exponent``.  A handful of
+    keys dominate while a long tail of rare keys churns the session LRU:
+    sized above ``max_sessions``, this is the workload that defeats it.
+
+    >>> keys = {s.session_key().key() for s in zipf_scenarios(Scenario(3), 6)}
+    >>> len(keys)
+    6
+    """
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    scenarios = []
+    for rank in range(sessions):
+        rate = base.physical_error_rate + rank * rate_step
+        if not 0.0 < rate < 1.0:
+            raise ValueError(
+                f"rank {rank} pushes physical_error_rate to {rate}; "
+                "lower rate_step or sessions"
+            )
+        scenarios.append(
+            Scenario(
+                distance=base.distance,
+                noise=base.noise,
+                physical_error_rate=rate,
+                decoder=base.decoder,
+                weight=(rank + 1) ** -exponent,
+            )
+        )
+    return tuple(scenarios)
+
+
+def hostile_trace(
+    family: str,
+    *,
+    requests: int = 64,
+    seed: int = 2027,
+    distance: int = 3,
+    physical_error_rate: float = 0.02,
+    decoder: str = "union-find",
+    sessions: int = 12,
+    rate_rps: float = 2000.0,
+) -> TraceSpec:
+    """Build one of the :data:`HOSTILE_FAMILIES` as a :class:`TraceSpec`.
+
+    The four families stress what well-behaved traces never touch: the
+    admission queue under synchronized bursts (``flash-crowd``), the batcher
+    under clumped heavy-tailed arrivals (``pareto``), the session LRU under
+    Zipf key skew (``zipf``), and the shared scheduler under slow-consumer
+    streams (``slow-consumer``).
+
+    >>> hostile_trace("zipf", requests=8).scenarios[0].weight
+    1.0
+    """
+    base = Scenario(
+        distance=distance,
+        physical_error_rate=physical_error_rate,
+        decoder=decoder,
+    )
+    name = f"hostile-{family}"
+    if family == "flash-crowd":
+        return TraceSpec(
+            name,
+            (base,),
+            requests=requests,
+            seed=seed,
+            burst_size=max(1, requests // 4),
+            burst_gap_seconds=0.005,
+        )
+    if family == "pareto":
+        return TraceSpec(
+            name,
+            (base,),
+            requests=requests,
+            seed=seed,
+            rate_rps=rate_rps,
+            interarrival="pareto",
+            pareto_alpha=1.5,
+        )
+    if family == "zipf":
+        return TraceSpec(
+            name,
+            zipf_scenarios(base, sessions),
+            requests=requests,
+            seed=seed,
+        )
+    if family == "slow-consumer":
+        return TraceSpec(
+            name,
+            (base,),
+            requests=requests,
+            seed=seed,
+            slow_streams=2,
+            stream_push_gap_seconds=0.001,
+        )
+    raise ValueError(f"family must be one of {HOSTILE_FAMILIES}, got {family!r}")
+
+
 #: Pinned trace of the CI ``perf-trajectory`` job (``repro serve-bench
 #: --smoke``): a mixed-distance, mixed-decoder open-loop burst, small enough
 #: for a pull-request gate, varied enough that micro-batching, session
@@ -296,4 +533,14 @@ SMOKE_TRACE = TraceSpec(
     seed=2026,
     arrival="open",
     rate_rps=None,
+)
+
+
+#: Pinned hostile mix of ``repro serve-bench --hostile-smoke``: one small
+#: trace per family, replayed under :data:`repro.service.faults.HOSTILE_SMOKE_PLAN`.
+#: Everything — arrivals, syndromes, poison selection — is seed-stable, so
+#: the healthy-request digests the CI gate compares are machine-independent.
+HOSTILE_SMOKE_TRACES: tuple[tuple[str, TraceSpec], ...] = tuple(
+    (family, hostile_trace(family, requests=48, seed=2027))
+    for family in HOSTILE_FAMILIES
 )

@@ -416,7 +416,7 @@ class TestServeBenchCommand:
         )
         assert exit_code == 0
         output = capsys.readouterr().out
-        assert "24 requests (24 completed, 0 shed)" in output
+        assert "24 requests (24 completed, 0 shed, 0 error)" in output
         assert "identity: 24 checked, 0 mismatches" in output
         document = json.loads(output_path.read_text())
         validate_service_bench(document)
@@ -468,3 +468,69 @@ class TestServeBenchCommand:
         )
         assert exit_code == 0
         assert json.loads(output_path.read_text())["trace"]["name"] == "file-trace"
+
+    def test_serve_bench_fault_plan_file(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({"name": "cli-plan", "seed": 11, "poison_rate": 0.3}))
+        output_path = tmp_path / "BENCH_service.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--requests",
+                "16",
+                "--distances",
+                "3",
+                "--error-rates",
+                "0.02",
+                "--decoders",
+                "union-find",
+                "--seed",
+                "3",
+                "--fault-plan",
+                str(plan_path),
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        document = json.loads(output_path.read_text())
+        validate_service_bench(document)
+        assert document["fault_plan"]["name"] == "cli-plan"
+        assert document["error_responses"] > 0
+        assert (
+            document["completed"] + document["shed"] + document["error_responses"]
+            == document["requests"]
+        )
+        assert "poisoned errored" in capsys.readouterr().out
+
+    def test_serve_bench_hostile_smoke_records_isolated_mix(self, tmp_path, capsys):
+        output_path = tmp_path / "BENCH_service.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--requests",
+                "8",
+                "--distances",
+                "3",
+                "--error-rates",
+                "0.02",
+                "--decoders",
+                "union-find",
+                "--hostile-smoke",
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        document = json.loads(output_path.read_text())
+        validate_service_bench(document)
+        mix = document["hostile_mix"]
+        assert [entry["family"] for entry in mix] == [
+            "flash-crowd",
+            "pareto",
+            "zipf",
+            "slow-consumer",
+        ]
+        assert all(entry["isolated"] for entry in mix)
+        assert all(entry["poisoned"] > 0 for entry in mix)
+        assert "NOT ISOLATED" not in capsys.readouterr().out

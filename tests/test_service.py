@@ -32,6 +32,7 @@ from repro.evaluation import ServiceLoadEngine
 from repro.graphs import SyndromeSampler
 from repro.service import (
     SMOKE_TRACE,
+    STATUS_ERROR,
     STATUS_SHED,
     CodeSpec,
     DecodeRequest,
@@ -328,7 +329,10 @@ class TestDecodeService:
         with pytest.raises(ServiceClosedError):
             service.start()
 
-    def test_failing_session_build_fails_the_batch(self):
+    def test_failing_session_build_fails_the_batch_as_error_responses(self):
+        """A session build that keeps crashing resolves the whole batch with
+        STATUS_ERROR responses — never future exceptions, never a hang."""
+
         def broken_factory(key):
             raise RuntimeError("no session for you")
 
@@ -338,8 +342,38 @@ class TestDecodeService:
         ) as service:
             futures = [service.submit(DecodeRequest(UF_KEY, s)) for s in syndromes]
             for future in futures:
-                with pytest.raises(RuntimeError, match="no session"):
-                    future.result(timeout=30)
+                response = future.result(timeout=30)
+                assert response.status == STATUS_ERROR
+                assert not response.ok
+                assert "no session for you" in response.error
+        assert service.stats.errors == 2
+        assert service.stats.completed == 0
+        assert service.stats.submitted == 2
+
+    def test_session_build_retry_recovers_and_counts(self):
+        """A build that crashes once succeeds within the retry budget; the
+        requests decode normally and the retry is counted."""
+        from repro.service.cache import build_session
+
+        attempts = {"n": 0}
+
+        def flaky_factory(key):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("transient build crash")
+            return build_session(key)
+
+        _, syndromes = sample_syndromes(D3_CODE, 3)
+        with DecodeService(
+            workers=1,
+            max_wait_seconds=0.001,
+            session_factory=flaky_factory,
+            session_build_retries=2,
+        ) as service:
+            responses = service.decode_many([DecodeRequest(UF_KEY, s) for s in syndromes])
+        assert all(r.ok for r in responses)
+        assert service.stats.retries == 1
+        assert service.stats.errors == 0
 
     def test_stats_snapshot_shape(self):
         _, syndromes = sample_syndromes(D3_CODE, 4)
@@ -348,8 +382,78 @@ class TestDecodeService:
         snapshot = service.stats_snapshot()
         assert snapshot["submitted"] == snapshot["completed"] == 4
         assert snapshot["shed"] == 0
+        assert snapshot["errors"] == 0 and snapshot["retries"] == 0
         assert sum(size * count for size, count in snapshot["batch_sizes"].items()) == 4
         assert snapshot["sessions"]["misses"] == 1
+        assert snapshot["sessions"]["live"] == 1
+        assert snapshot["faults"] is None
+
+    def test_session_stats_read_through_locked_snapshot(self):
+        """Regression: DecodeService.stats_snapshot must read session counters
+        via SessionCache.stats_snapshot() (one locked read), not attribute by
+        attribute — a torn read could see hits+misses out of step."""
+        cache = SessionCache(max_sessions=2)
+        cache.acquire(UF_KEY)
+        cache.acquire(UF_KEY)
+        snapshot = cache.stats_snapshot()
+        assert snapshot == {"hits": 1, "misses": 1, "evictions": 0, "live": 1}
+        # mutating the snapshot must not touch the cache's own counters
+        snapshot["hits"] = 99
+        assert cache.stats.hits == 1
+
+    def test_shed_requests_count_as_submitted(self):
+        """Regression: a shed request is still offered load — `submitted`
+        must include it or `submitted == completed + shed + errors` breaks."""
+        service = DecodeService(workers=1, queue_capacity=1, overload_policy="shed")
+        _, syndromes = sample_syndromes(D3_CODE, 3)
+        # White-box: no dispatcher running, so the full-queue condition is
+        # deterministic — the first request is admitted, the rest shed.
+        futures = [service.submit(DecodeRequest(UF_KEY, s)) for s in syndromes]
+        assert not futures[0].done()
+        assert [f.result(timeout=1).status for f in futures[1:]] == [STATUS_SHED] * 2
+        assert service.stats.submitted == 3
+        assert service.stats.shed == 2
+        service.close()  # never started: fails the one admitted future
+
+    def test_cache_hit_records_zero_queue_delay_sample(self):
+        """Regression: outcome-cache hits complete without queueing but must
+        still contribute a 0.0 queue-delay sample so histogram counts stay in
+        lock-step with `completed`."""
+        _, syndromes = sample_syndromes(D3_CODE, 2)
+        request = DecodeRequest(UF_KEY, syndromes[0])
+        with DecodeService(
+            workers=1, max_wait_seconds=0.001, outcome_cache_bytes=1 << 20
+        ) as service:
+            service.decode(request)
+            cached = service.decode(request)
+        assert cached.cached
+        assert service.stats.cache_hits == 1
+        assert service.stats.queue_delay.count == service.stats.completed == 2
+        assert service.stats.latency.count == 2
+
+    @pytest.mark.parametrize("policy", ["block", "shed"])
+    @pytest.mark.parametrize("cache_bytes", [None, 1 << 20])
+    def test_drained_stats_invariant(self, policy, cache_bytes):
+        """After close(): submitted == completed + shed + errors, and
+        batched + cache_hits == completed + errors, under both overload
+        policies, with and without the outcome cache."""
+        _, syndromes = sample_syndromes(D3_CODE, 6)
+        requests = [DecodeRequest(UF_KEY, s) for s in syndromes]
+        requests.append(DecodeRequest(UF_KEY, syndromes[0]))  # repeat: cacheable
+        with DecodeService(
+            workers=2,
+            max_wait_seconds=0.0005,
+            queue_capacity=4,
+            overload_policy=policy,
+            outcome_cache_bytes=cache_bytes,
+        ) as service:
+            responses = [f.result(timeout=30) for f in map(service.submit, requests)]
+        stats = service.stats
+        assert stats.submitted == len(requests)
+        assert stats.submitted == stats.completed + stats.shed + stats.errors
+        batched = sum(size * count for size, count in stats.batch_sizes.items())
+        assert batched + stats.cache_hits == stats.completed + stats.errors
+        assert stats.completed == sum(1 for r in responses if r.ok)
 
 
 # ---------------------------------------------------------------------------
@@ -555,6 +659,12 @@ class TestServiceBench:
             lambda d: d["batch_size_histogram"].__setitem__("0", 1),
             lambda d: d["identity"].__setitem__("mismatches", 10**6),
             lambda d: d.__setitem__("outcome_digest", ""),
+            lambda d: d.pop("fairness"),
+            lambda d: d.__setitem__("error_responses", 1),
+            lambda d: d["fairness"].__setitem__("min_completion_ratio", 2.0),
+            lambda d: d.__setitem__("healthy_digest", ""),
+            lambda d: d.__setitem__("hostile_mix", []),
+            lambda d: d.__setitem__("shed_rate", -0.1),
         ],
     )
     def test_schema_violations_raise(self, run, mutate):

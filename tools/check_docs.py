@@ -66,6 +66,7 @@ DOCTEST_MODULES = (
     "repro.service.request",
     "repro.service.cache",
     "repro.service.batcher",
+    "repro.service.faults",
     "repro.service.service",
     "repro.service.trace",
     "repro.service.bench",
