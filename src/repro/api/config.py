@@ -57,6 +57,47 @@ class DecoderConfig:
         """
         return content_hash({"config": type(self).__name__, "fields": asdict(self)})
 
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form: the concrete class name plus every field.
+
+        Nested configs (``LUTConfig.fallback_config``) serialise recursively;
+        :meth:`from_dict` restores the exact subclass.  This is the codec the
+        network decode service puts on the wire inside a
+        :class:`repro.service.SessionKey`.
+
+        >>> MicroBlossomConfig(scale=4).to_dict()["type"]
+        'MicroBlossomConfig'
+        """
+        fields = {}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, DecoderConfig):
+                value = value.to_dict()
+            fields[spec.name] = value
+        return {"type": type(self).__name__, "fields": fields}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecoderConfig":
+        """Inverse of :meth:`to_dict`; returns the concrete subclass instance.
+
+        >>> config = LUTConfig(fallback_config=MicroBlossomConfig(scale=4))
+        >>> DecoderConfig.from_dict(config.to_dict()) == config
+        True
+        """
+        try:
+            concrete = _CONFIG_CLASSES[data["type"]]
+        except KeyError:
+            raise ValueError(f"unknown decoder config type {data.get('type')!r}") from None
+        known = {spec.name for spec in dataclasses.fields(concrete)}
+        kwargs = {}
+        for name, value in data["fields"].items():
+            if name not in known:
+                raise ValueError(f"{concrete.__name__} has no field {name!r}")
+            if isinstance(value, dict) and value.get("type") in _CONFIG_CLASSES:
+                value = DecoderConfig.from_dict(value)
+            kwargs[name] = value
+        return concrete(**kwargs)
+
 
 @dataclass(frozen=True)
 class MicroBlossomConfig(DecoderConfig):
@@ -127,3 +168,17 @@ class LUTConfig(DecoderConfig):
             field.name: getattr(self, field.name)
             for field in dataclasses.fields(self)
         }
+
+
+#: Concrete config classes by name — the lookup table of
+#: :meth:`DecoderConfig.from_dict` (wire deserialisation).
+_CONFIG_CLASSES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        MicroBlossomConfig,
+        ParityBlossomConfig,
+        UnionFindConfig,
+        ReferenceConfig,
+        LUTConfig,
+    )
+}

@@ -58,12 +58,15 @@ from .service import (
     HOSTILE_SMOKE_PLAN,
     HOSTILE_SMOKE_TRACES,
     SMOKE_TRACE,
+    CodeSpec,
     FaultPlan,
     ServiceBenchSchemaError,
+    ServiceConfig,
     TraceSpec,
     cache_comparison_entry,
     hostile_mix_entry,
     make_trace,
+    saturation_entry,
     service_bench_document,
     write_service_bench,
 )
@@ -412,6 +415,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "fails on any non-isolated fault",
     )
     serve.add_argument("--output", default="BENCH_service.json")
+
+    serve_net = subparsers.add_parser(
+        "serve-net",
+        help="serve the decode service over TCP with multi-process workers, "
+        "or run the network digest/scaling smoke (see docs/service.md)",
+    )
+    net_mode = serve_net.add_mutually_exclusive_group(required=True)
+    net_mode.add_argument(
+        "--serve",
+        action="store_true",
+        help="run a standalone server until SIGTERM/SIGINT (graceful drain)",
+    )
+    net_mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: replay the pinned trace over loopback at each "
+        "--processes count, gate healthy_digest identity against in-process "
+        "serving, sweep the closed-loop saturation ladder, and emit a "
+        "schema-v4 BENCH document with the saturation block",
+    )
+    serve_net.add_argument(
+        "--config",
+        default=None,
+        help="ServiceConfig JSON file (defaults to the serve-bench sizing: "
+        "max_batch_size=16, max_wait_seconds=0.001)",
+    )
+    serve_net.add_argument("--host", default="127.0.0.1")
+    serve_net.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve_net.add_argument(
+        "--processes",
+        default=None,
+        help="worker process count (--serve, default 2) or comma-separated "
+        "counts to sweep (--smoke, default 1,2,4)",
+    )
+    serve_net.add_argument(
+        "--client-ladder",
+        default="1,2,4,8",
+        help="closed-loop client counts the saturation sweep climbs (--smoke)",
+    )
+    serve_net.add_argument(
+        "--prewarm-distances",
+        default="3,5",
+        help="comma-separated distances packed into shared memory (--serve)",
+    )
+    serve_net.add_argument(
+        "--prewarm-error-rates",
+        default="0.02,0.03",
+        help="comma-separated error rates crossed with --prewarm-distances",
+    )
+    serve_net.add_argument("--output", default="BENCH_service_net.json")
     return parser
 
 
@@ -756,6 +809,26 @@ _DEFAULT_COMPARE_CACHE_BYTES = 4 << 20
 _SERVE_DRAIN_TIMEOUT_SECONDS = 60.0
 
 
+def _serve_config(
+    args: argparse.Namespace,
+    outcome_cache_bytes: int | None,
+    fault_plan: FaultPlan | None = None,
+) -> ServiceConfig:
+    """The ServiceConfig every serve-bench replay runs under."""
+    return ServiceConfig(
+        workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_wait_seconds=args.max_wait_us * 1e-6,
+        queue_capacity=args.queue_capacity,
+        max_sessions=args.max_sessions,
+        overload_policy=args.policy,
+        outcome_cache_bytes=outcome_cache_bytes,
+        fault_plan=fault_plan,
+        session_build_retries=args.session_build_retries,
+        session_build_backoff_seconds=0.0005,
+    )
+
+
 def _serve_engine(
     args: argparse.Namespace,
     trace: TraceSpec,
@@ -765,17 +838,8 @@ def _serve_engine(
 ) -> ServiceLoadEngine:
     return ServiceLoadEngine(
         trace,
-        workers=args.workers,
-        max_batch_size=args.max_batch,
-        max_wait_seconds=args.max_wait_us * 1e-6,
-        queue_capacity=args.queue_capacity,
-        max_sessions=args.max_sessions,
-        overload_policy=args.policy,
-        outcome_cache_bytes=outcome_cache_bytes,
+        config=_serve_config(args, outcome_cache_bytes, fault_plan),
         repeats=repeats,
-        fault_plan=fault_plan,
-        session_build_retries=args.session_build_retries,
-        session_build_backoff_seconds=0.0005,
         drain_timeout_seconds=_SERVE_DRAIN_TIMEOUT_SECONDS,
     )
 
@@ -790,8 +854,7 @@ def _run_hostile_mix(args: argparse.Namespace) -> tuple[list, list]:
     entries = []
     failed = []
     for family, spec in HOSTILE_SMOKE_TRACES:
-        engine = ServiceLoadEngine(
-            spec,
+        config = ServiceConfig(
             workers=args.workers,
             max_batch_size=args.max_batch,
             max_wait_seconds=args.max_wait_us * 1e-6,
@@ -801,6 +864,10 @@ def _run_hostile_mix(args: argparse.Namespace) -> tuple[list, list]:
             fault_plan=HOSTILE_SMOKE_PLAN,
             session_build_retries=2,
             session_build_backoff_seconds=0.0005,
+        )
+        engine = ServiceLoadEngine(
+            spec,
+            config=config,
             drain_timeout_seconds=_SERVE_DRAIN_TIMEOUT_SECONDS,
         )
         result = engine.run(verify_identity=True)
@@ -937,6 +1004,110 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_net(args: argparse.Namespace) -> int:
+    # Local import: the net tier (asyncio, multiprocessing.shared_memory)
+    # should not tax every other CLI command's startup.
+    from .service.net import NetServer
+    from .service.net.bench import NET_CONFIG_DEFAULTS, scaling_bench
+
+    config = (
+        ServiceConfig.from_file(args.config)
+        if args.config
+        else ServiceConfig(**NET_CONFIG_DEFAULTS)
+    )
+    if args.serve:
+        processes = int(args.processes) if args.processes else 2
+        prewarm = [
+            CodeSpec(distance, physical_error_rate=rate)
+            for distance in _parse_list(args.prewarm_distances, int)
+            for rate in _parse_list(args.prewarm_error_rates, float)
+        ]
+        server = NetServer(
+            config,
+            processes=processes,
+            host=args.host,
+            port=args.port,
+            prewarm=prewarm,
+            drain_timeout_seconds=_SERVE_DRAIN_TIMEOUT_SECONDS,
+        )
+        server.run_forever()
+        return 0
+
+    trace = SMOKE_TRACE
+    counts = _parse_list(args.processes or "1,2,4", int)
+    engine = ServiceLoadEngine(
+        trace, config=config, drain_timeout_seconds=_SERVE_DRAIN_TIMEOUT_SECONDS
+    )
+    inproc = engine.run(verify_identity=True)
+    print(
+        f"in-process [{trace.trace_hash()}]: {inproc.completed} completed "
+        f"= {inproc.throughput_rps:.0f} req/s, "
+        f"healthy_digest={inproc.healthy_digest}"
+    )
+    saturation = engine.saturate(client_ladder=_parse_list(args.client_ladder, int))
+    for point in saturation.points:
+        marker = " <- knee" if point.clients == saturation.knee_clients else ""
+        print(
+            f"saturation clients={point.clients:3d}: "
+            f"{point.throughput_rps:.0f} req/s "
+            f"p99={point.latency_p99_us:.0f}us{marker}"
+        )
+    scaling, net_results = scaling_bench(trace, process_counts=counts, config=config)
+    digest_failures = []
+    for row in scaling["series"]:
+        match = row["healthy_digest"] == inproc.healthy_digest
+        if not match:
+            digest_failures.append(row["processes"])
+        print(
+            f"net processes={row['processes']}: {row['throughput_rps']:.0f} req/s "
+            f"efficiency={row['efficiency']:.2f} "
+            f"digest {'==' if match else '!='} in-process"
+        )
+    print(
+        f"scaling measured on {scaling['cpu_count']} CPU core(s); "
+        f"efficiency is relative to {counts[0]} process(es)"
+    )
+    try:
+        path = write_service_bench(
+            service_bench_document(
+                trace,
+                inproc,
+                saturation=saturation_entry(saturation, scaling=scaling),
+            ),
+            args.output,
+        )
+    except ServiceBenchSchemaError as error:
+        print(f"BENCH_service schema violation: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
+    failed = False
+    if inproc.identity_mismatches:
+        print(
+            f"in-process outcomes diverged from direct decodes "
+            f"({inproc.identity_mismatches} mismatches)",
+            file=sys.stderr,
+        )
+        failed = True
+    if digest_failures:
+        print(
+            f"network digest mismatch vs in-process at process count(s) "
+            f"{digest_failures}",
+            file=sys.stderr,
+        )
+        failed = True
+    if not saturation.digest_match:
+        print("saturation rungs disagree on healthy_digest", file=sys.stderr)
+        failed = True
+    error_responses = sum(r.error_responses for r in net_results.values())
+    if error_responses:
+        print(
+            f"network replay produced {error_responses} error response(s)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     handlers = {
         "run": _command_sweep_run,
@@ -966,6 +1137,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stream": _command_stream,
         "sweep": _command_sweep,
         "serve-bench": _command_serve_bench,
+        "serve-net": _command_serve_net,
     }
     return handlers[args.command](args)
 

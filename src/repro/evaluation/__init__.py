@@ -58,7 +58,13 @@ from .stream import (
 #: Service-layer exports resolved lazily (PEP 562): ``service_load`` imports
 #: :mod:`repro.service`, which itself imports :mod:`repro.evaluation.engine`
 #: — importing it eagerly here would create a package-initialisation cycle.
-_SERVICE_EXPORTS = ("ServiceLoadEngine", "ServiceLoadResult")
+_SERVICE_EXPORTS = (
+    "SaturationPoint",
+    "SaturationResult",
+    "ServiceLoadEngine",
+    "ServiceLoadResult",
+    "find_knee",
+)
 
 
 def __getattr__(name: str):
@@ -67,6 +73,7 @@ def __getattr__(name: str):
 
         return getattr(service_load, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DECODERS_WITH_TIMING_MODELS",
@@ -113,6 +120,9 @@ __all__ = [
     "StreamEngineResult",
     "StreamShardResult",
     "stream_latency_fn",
+    "SaturationPoint",
+    "SaturationResult",
     "ServiceLoadEngine",
     "ServiceLoadResult",
+    "find_knee",
 ]

@@ -40,7 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..api.hashing import content_hash
 from ..api.registry import get_decoder
@@ -133,17 +133,90 @@ class ServiceLoadResult:
         return sum(size * count for size, count in self.batch_sizes.items()) / total
 
 
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One rung of a closed-loop saturation ladder."""
+
+    clients: int
+    requests: int
+    completed: int
+    elapsed_seconds: float
+    throughput_rps: float
+    latency_p50_us: float
+    latency_p99_us: float
+    healthy_digest: str
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "completed": self.completed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_us": self.latency_p50_us,
+            "latency_p99_us": self.latency_p99_us,
+            "healthy_digest": self.healthy_digest,
+        }
+
+
+@dataclass
+class SaturationResult:
+    """A full closed-loop saturation sweep: the ladder plus its knee.
+
+    ``digest_match`` asserts the determinism contract rung by rung: offered
+    load changes *when* requests run, never *what* they decode, so every
+    rung must reproduce the same healthy digest.
+    """
+
+    points: list[SaturationPoint]
+    knee_clients: int
+    knee_throughput_rps: float
+    digest_match: bool
+
+    @property
+    def peak_throughput_rps(self) -> float:
+        return max((point.throughput_rps for point in self.points), default=0.0)
+
+
+def find_knee(points: list[SaturationPoint], threshold: float = 0.10) -> SaturationPoint:
+    """The ladder's throughput knee: the last rung still worth climbing to.
+
+    Walking the ladder in client order, the knee is the rung after which
+    adding clients stops paying — the first rung whose successor improves
+    throughput by less than ``threshold`` (fractionally).  A ladder that is
+    still gaining at the top returns its last rung (the knee lies beyond the
+    sweep; callers see ``knee_clients == max(ladder)`` and can extend it).
+    """
+    if not points:
+        raise ValueError("saturation sweep produced no points")
+    knee = points[0]
+    for point in points[1:]:
+        if knee.throughput_rps <= 0:
+            knee = point
+            continue
+        gain = point.throughput_rps / knee.throughput_rps - 1.0
+        if gain < threshold:
+            return knee
+        knee = point
+    return knee
+
+
+#: Engine-specific :class:`repro.service.ServiceConfig` defaults: load
+#: replays favour smaller batches and a tighter flush deadline than the
+#: service's own defaults (a trace's scenarios rarely fill 32-deep batches).
+_ENGINE_CONFIG_DEFAULTS = {"max_batch_size": 16, "max_wait_seconds": 0.001}
+
+
 class ServiceLoadEngine:
     """Replay a seed-stable synthetic trace through a decode service.
 
-    Service sizing (``workers``, ``max_batch_size``, ``max_wait_seconds``,
-    ``queue_capacity``, ``max_sessions``, ``overload_policy``) is forwarded
-    to the :class:`repro.service.DecodeService` built per :meth:`run`, as is
-    the fault configuration (``fault_plan``, ``session_build_retries``,
-    ``session_build_backoff_seconds``).  ``drain_timeout_seconds`` bounds the
-    post-replay ``close()``: exceeding it raises
-    :class:`repro.service.ServiceDrainError` instead of hanging — the
-    hostile smoke's hung-close gate.
+    Service sizing and policy travel as one :class:`repro.service.ServiceConfig`
+    (``config=...``) forwarded to the :class:`repro.service.DecodeService`
+    built per :meth:`run`; the individual sizing keywords (``workers``,
+    ``max_batch_size``, ``fault_plan``, ...) are still accepted and folded
+    into a config for you.  ``drain_timeout_seconds`` bounds the post-replay
+    ``close()``: exceeding it raises :class:`repro.service.ServiceDrainError`
+    instead of hanging — the hostile smoke's hung-close gate.
 
     >>> from repro.service import Scenario, TraceSpec
     >>> spec = TraceSpec("t", (Scenario(3, physical_error_rate=0.02),), requests=6)
@@ -158,39 +231,38 @@ class ServiceLoadEngine:
         self,
         trace,
         *,
-        workers: int = 2,
-        max_batch_size: int = 16,
-        max_wait_seconds: float = 0.001,
-        queue_capacity: int = 1024,
-        max_sessions: int = 8,
-        overload_policy: str = "block",
-        outcome_cache_bytes: int | None = None,
+        config=None,
         repeats: int = 1,
-        fault_plan=None,
-        session_build_retries: int = 0,
-        session_build_backoff_seconds: float = 0.0,
         drain_timeout_seconds: float | None = None,
+        **sizing,
     ) -> None:
-        from ..service.faults import FaultPlan  # lazy: avoid import cycles
+        from ..service.config import ServiceConfig  # lazy: avoid import cycles
+        from ..service.faults import FaultPlan
         from ..service.trace import TraceSpec
 
         if not isinstance(trace, TraceSpec):
             raise TypeError(f"trace must be a TraceSpec, got {type(trace).__name__}")
-        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
-            raise TypeError(f"fault_plan must be a FaultPlan, got {type(fault_plan).__name__}")
+        if config is not None and sizing:
+            raise TypeError(
+                "pass service sizing either as config=ServiceConfig(...) or as "
+                "individual keywords, not both"
+            )
+        if config is None:
+            fault_plan = sizing.get("fault_plan")
+            if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+                raise TypeError(
+                    f"fault_plan must be a FaultPlan, got {type(fault_plan).__name__}"
+                )
+            config = ServiceConfig(**{**_ENGINE_CONFIG_DEFAULTS, **sizing})
+        elif not isinstance(config, ServiceConfig):
+            raise TypeError(f"config must be a ServiceConfig, got {type(config).__name__}")
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         self.trace = trace
-        self.workers = workers
-        self.max_batch_size = max_batch_size
-        self.max_wait_seconds = max_wait_seconds
-        self.queue_capacity = queue_capacity
-        self.max_sessions = max_sessions
-        self.overload_policy = overload_policy
-        self.outcome_cache_bytes = outcome_cache_bytes
-        self.fault_plan = fault_plan
-        self.session_build_retries = session_build_retries
-        self.session_build_backoff_seconds = session_build_backoff_seconds
+        #: The full service configuration every :meth:`run` builds from.
+        self.config = config
+        self.workers = config.workers
+        self.fault_plan = config.fault_plan
         self.drain_timeout_seconds = drain_timeout_seconds
         #: Replay the whole trace this many times through ONE service; each
         #: pass fully drains before the next starts.  Pass 2+ re-submits the
@@ -283,18 +355,7 @@ class ServiceLoadEngine:
 
         trace = generate_trace(self.trace, fault_plan=self.fault_plan)
         sequence = list(trace.requests) * self.repeats
-        service = DecodeService(
-            max_batch_size=self.max_batch_size,
-            max_wait_seconds=self.max_wait_seconds,
-            queue_capacity=self.queue_capacity,
-            workers=self.workers,
-            max_sessions=self.max_sessions,
-            overload_policy=self.overload_policy,
-            outcome_cache_bytes=self.outcome_cache_bytes,
-            fault_plan=self.fault_plan,
-            session_build_retries=self.session_build_retries,
-            session_build_backoff_seconds=self.session_build_backoff_seconds,
-        )
+        service = DecodeService(self.config)
         stream_outcomes: list = [None] * (len(trace.streams) * self.repeats)
         service.start()
         try:
@@ -354,65 +415,73 @@ class ServiceLoadEngine:
         return result
 
     # ------------------------------------------------------------------
+    # saturation
+    # ------------------------------------------------------------------
+    def saturate(
+        self,
+        client_ladder=(1, 2, 4, 8),
+        *,
+        knee_threshold: float = 0.10,
+    ) -> SaturationResult:
+        """Closed-loop saturation sweep: find the service's throughput knee.
+
+        The engine's trace is re-shaped to a **closed loop** (``clients``
+        concurrent callers, each with one request in flight) and replayed
+        once per ladder rung through a fresh service built from the same
+        :class:`~repro.service.ServiceConfig`.  Offered load rises with the
+        rung; completed throughput rises until the service saturates, and
+        :func:`find_knee` marks the rung where the marginal gain drops below
+        ``knee_threshold``.
+
+        Per the determinism contract, every rung reproduces the same
+        ``healthy_digest`` (load shapes timing, never outcomes) —
+        ``digest_match`` reports it so benchmarks can gate on it.
+        """
+        ladder = sorted({int(clients) for clients in client_ladder})
+        if not ladder or ladder[0] < 1:
+            raise ValueError("client_ladder must contain ints >= 1")
+        if not 0.0 < knee_threshold < 1.0:
+            raise ValueError("knee_threshold must be in (0, 1)")
+        points: list[SaturationPoint] = []
+        for clients in ladder:
+            spec = replace(
+                self.trace,
+                arrival="closed",
+                clients=clients,
+                rate_rps=None,
+                burst_size=None,
+            )
+            rung = ServiceLoadEngine(
+                spec,
+                config=self.config,
+                repeats=self.repeats,
+                drain_timeout_seconds=self.drain_timeout_seconds,
+            ).run()
+            points.append(
+                SaturationPoint(
+                    clients=clients,
+                    requests=rung.requests,
+                    completed=rung.completed,
+                    elapsed_seconds=rung.elapsed_seconds,
+                    throughput_rps=rung.throughput_rps,
+                    latency_p50_us=rung.latency.percentile(50) * 1e6,
+                    latency_p99_us=rung.latency.percentile(99) * 1e6,
+                    healthy_digest=rung.healthy_digest,
+                )
+            )
+        knee = find_knee(points, knee_threshold)
+        return SaturationResult(
+            points=points,
+            knee_clients=knee.clients,
+            knee_throughput_rps=knee.throughput_rps,
+            digest_match=len({point.healthy_digest for point in points}) == 1,
+        )
+
+    # ------------------------------------------------------------------
     # outcome evaluation
     # ------------------------------------------------------------------
     def _evaluate_outcomes(self, trace, sequence, responses, result: ServiceLoadResult) -> None:
-        """Count logical errors, fold outcomes into the order-stable digests,
-        and build the per-scenario fairness ledger."""
-        per_scenario = [
-            {
-                "scenario": index,
-                "decoder": scenario.decoder,
-                "offered": 0,
-                "poisoned": 0,
-                "completed": 0,
-                "shed": 0,
-                "errors": 0,
-            }
-            for index, scenario in enumerate(trace.spec.scenarios)
-        ]
-        records = []
-        healthy_records = []
-        for traced, response in zip(sequence, responses):
-            row = per_scenario[traced.scenario_index]
-            row["offered"] += 1
-            if traced.poisoned:
-                result.poisoned += 1
-                row["poisoned"] += 1
-                if response.status == "error":
-                    result.poisoned_errored += 1
-                    row["errors"] += 1
-                records.append(f"{traced.index}:poisoned:{response.status}")
-                continue
-            if response.status == "shed":
-                row["shed"] += 1
-                records.append(f"{traced.index}:shed")
-                continue
-            if response.status == "error":
-                row["errors"] += 1
-                records.append(f"{traced.index}:error")
-                continue
-            row["completed"] += 1
-            graph = trace.graphs[traced.scenario_index]
-            syndrome = traced.request.syndrome
-            correction = sorted(response.outcome.correction_edges(graph))
-            record = f"{traced.index}:ok:{correction}:w={response.outcome.weight}"
-            if syndrome.logical_flip is not None:
-                result.evaluated += 1
-                error = graph.crosses_observable(set(correction)) != syndrome.logical_flip
-                if error:
-                    result.errors += 1
-                record += f":err={int(error)}"
-            records.append(record)
-            healthy_records.append(record)
-        for row in per_scenario:
-            healthy_offered = row["offered"] - row["poisoned"]
-            row["completion_ratio"] = (
-                row["completed"] / healthy_offered if healthy_offered else 1.0
-            )
-        result.per_scenario = per_scenario
-        result.outcome_digest = content_hash({"outcomes": records})
-        result.healthy_digest = content_hash({"outcomes": healthy_records})
+        evaluate_outcomes(trace, sequence, responses, result)
 
     def _verify_identity(self, trace, sequence, responses, result: ServiceLoadResult) -> None:
         """Re-decode every healthy request directly and compare bit for bit."""
@@ -461,3 +530,67 @@ class ServiceLoadEngine:
                 or direct.weight != outcome.weight
             ):
                 result.stream_mismatches += 1
+
+
+def evaluate_outcomes(trace, sequence, responses, result: ServiceLoadResult) -> None:
+    """Count logical errors, fold outcomes into the order-stable digests,
+    and build the per-scenario fairness ledger.
+
+    Module-level on purpose: the network replay
+    (:mod:`repro.service.net.bench`) evaluates its responses through this
+    *same* function, so ``healthy_digest`` equality between network and
+    in-process serving compares identical record constructions, not two
+    reimplementations that happen to agree today.
+    """
+    per_scenario = [
+        {
+            "scenario": index,
+            "decoder": scenario.decoder,
+            "offered": 0,
+            "poisoned": 0,
+            "completed": 0,
+            "shed": 0,
+            "errors": 0,
+        }
+        for index, scenario in enumerate(trace.spec.scenarios)
+    ]
+    records = []
+    healthy_records = []
+    for traced, response in zip(sequence, responses):
+        row = per_scenario[traced.scenario_index]
+        row["offered"] += 1
+        if traced.poisoned:
+            result.poisoned += 1
+            row["poisoned"] += 1
+            if response.status == "error":
+                result.poisoned_errored += 1
+                row["errors"] += 1
+            records.append(f"{traced.index}:poisoned:{response.status}")
+            continue
+        if response.status == "shed":
+            row["shed"] += 1
+            records.append(f"{traced.index}:shed")
+            continue
+        if response.status == "error":
+            row["errors"] += 1
+            records.append(f"{traced.index}:error")
+            continue
+        row["completed"] += 1
+        graph = trace.graphs[traced.scenario_index]
+        syndrome = traced.request.syndrome
+        correction = sorted(response.outcome.correction_edges(graph))
+        record = f"{traced.index}:ok:{correction}:w={response.outcome.weight}"
+        if syndrome.logical_flip is not None:
+            result.evaluated += 1
+            error = graph.crosses_observable(set(correction)) != syndrome.logical_flip
+            if error:
+                result.errors += 1
+            record += f":err={int(error)}"
+        records.append(record)
+        healthy_records.append(record)
+    for row in per_scenario:
+        healthy_offered = row["offered"] - row["poisoned"]
+        row["completion_ratio"] = row["completed"] / healthy_offered if healthy_offered else 1.0
+    result.per_scenario = per_scenario
+    result.outcome_digest = content_hash({"outcomes": records})
+    result.healthy_digest = content_hash({"outcomes": healthy_records})

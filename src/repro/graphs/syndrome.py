@@ -40,6 +40,32 @@ class Syndrome:
     def defect_count(self) -> int:
         return len(self.defects)
 
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form (the network decode service's codec).
+
+        >>> Syndrome((1, 4), logical_flip=True).to_dict()
+        {'defects': [1, 4], 'error_edges': [], 'logical_flip': True}
+        """
+        return {
+            "defects": list(self.defects),
+            "error_edges": list(self.error_edges),
+            "logical_flip": self.logical_flip,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Syndrome":
+        """Inverse of :meth:`to_dict`.
+
+        >>> Syndrome.from_dict({"defects": [2]}) == Syndrome((2,))
+        True
+        """
+        flip = data.get("logical_flip")
+        return cls(
+            defects=tuple(int(d) for d in data["defects"]),
+            error_edges=tuple(int(e) for e in data.get("error_edges", ())),
+            logical_flip=None if flip is None else bool(flip),
+        )
+
     def defects_in_layers(
         self, graph: DecodingGraph, layers: Iterable[int]
     ) -> tuple[int, ...]:
@@ -80,6 +106,37 @@ class MatchingResult:
     pairs: list[tuple[int, int]] = field(default_factory=list)
     boundary_vertices: dict[int, int] = field(default_factory=dict)
     weight: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form (pairs as 2-lists, vertex keys as strings).
+
+        >>> MatchingResult(pairs=[(0, BOUNDARY)], weight=3).to_dict()
+        {'pairs': [[0, -1]], 'boundary_vertices': {}, 'weight': 3}
+        """
+        return {
+            "pairs": [[int(u), int(v)] for u, v in self.pairs],
+            "boundary_vertices": {
+                str(defect): int(virtual)
+                for defect, virtual in self.boundary_vertices.items()
+            },
+            "weight": int(self.weight),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MatchingResult":
+        """Inverse of :meth:`to_dict`.
+
+        >>> MatchingResult.from_dict({"pairs": [[0, -1]], "weight": 3}).weight
+        3
+        """
+        return cls(
+            pairs=[(int(u), int(v)) for u, v in data.get("pairs", [])],
+            boundary_vertices={
+                int(defect): int(virtual)
+                for defect, virtual in data.get("boundary_vertices", {}).items()
+            },
+            weight=int(data.get("weight", 0)),
+        )
 
     def matched_vertices(self) -> list[int]:
         vertices: list[int] = []

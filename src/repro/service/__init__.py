@@ -35,14 +35,24 @@ per-request cost (the pLUTo argument from PAPERS.md, applied to decoding):
 * :func:`service_bench_document` / :func:`validate_service_bench` — the
   schema-validated ``BENCH_service.json`` CI publishes per commit
   (``python -m repro serve-bench``), with the pinned hostile-mix series of
-  ``--hostile-smoke``.
+  ``--hostile-smoke`` and the v4 ``saturation`` block (offered-load knee +
+  process-scaling series) of ``serve-net --smoke``.
+* :mod:`repro.service.net` — the network tier (imported on demand, not
+  re-exported here): an asyncio TCP front end
+  (:class:`~repro.service.net.NetServer`) speaking a length-prefixed
+  canonical-JSON protocol, multi-process workers sharing decoding graphs
+  through ``multiprocessing.shared_memory``, consistent-hash session
+  routing, and a pipelined synchronous
+  :class:`~repro.service.net.NetClient`.
 
 Quickstart (see ``docs/service.md`` for the full tour)::
 
-    from repro.service import CodeSpec, DecodeRequest, DecodeService, SessionKey
+    from repro.service import (
+        CodeSpec, DecodeRequest, DecodeService, ServiceConfig, SessionKey,
+    )
 
     key = SessionKey(CodeSpec(distance=5, physical_error_rate=0.01))
-    with DecodeService(workers=4, max_batch_size=32) as service:
+    with DecodeService(ServiceConfig(workers=4, max_batch_size=32)) as service:
         future = service.submit(DecodeRequest(key, syndrome))
         response = future.result()       # .outcome == direct decode_detailed
 """
@@ -55,11 +65,13 @@ from .bench import (
     cache_comparison_entry,
     fairness_entry,
     hostile_mix_entry,
+    saturation_entry,
     service_bench_document,
     validate_service_bench,
     write_service_bench,
 )
 from .cache import SessionCache, SessionCacheStats, SessionEntry, build_session
+from .config import OVERLOAD_POLICIES, ServiceConfig
 from .faults import (
     HOSTILE_SMOKE_PLAN,
     FaultInjector,
@@ -77,7 +89,6 @@ from .request import (
     SessionKey,
 )
 from .service import (
-    OVERLOAD_POLICIES,
     DecodeService,
     ServiceClosedError,
     ServiceDrainError,
@@ -110,6 +121,7 @@ __all__ = [
     "cache_comparison_entry",
     "fairness_entry",
     "hostile_mix_entry",
+    "saturation_entry",
     "service_bench_document",
     "validate_service_bench",
     "write_service_bench",
@@ -133,6 +145,7 @@ __all__ = [
     "DecodeResponse",
     "SessionKey",
     "OVERLOAD_POLICIES",
+    "ServiceConfig",
     "DecodeService",
     "ServiceClosedError",
     "ServiceDrainError",

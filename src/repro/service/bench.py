@@ -14,7 +14,14 @@ fault/overload ledger: ``error_responses`` and ``retries`` counters, the
 ratios), the ``healthy_digest`` over non-poisoned outcomes, the (nullable)
 ``fault_plan`` in force, and a (nullable) ``hostile_mix`` series — the
 pinned hostile trace families of :data:`repro.service.HOSTILE_SMOKE_TRACES`
-replayed under :data:`repro.service.HOSTILE_SMOKE_PLAN`.  Consecutive
+replayed under :data:`repro.service.HOSTILE_SMOKE_PLAN`.  Schema v4 adds the
+(nullable) ``saturation`` block: a closed-loop offered-load ladder with its
+throughput knee (:meth:`repro.evaluation.ServiceLoadEngine.saturate`) and,
+nested under ``saturation.scaling``, the network path's worker-process
+scaling series (:mod:`repro.service.net.bench`) — throughput and efficiency
+per process count with the host's CPU count attached, plus the
+``digest_match`` verdicts that pin "load and process count shape timing,
+never outcomes".  Consecutive
 artifacts form the service trajectory, the
 front-end counterpart of ``BENCH_sweep.json`` (:mod:`repro.sweeps.bench`):
 a scheduling or batching regression shows up as a latency/throughput shift
@@ -43,7 +50,10 @@ from ..evaluation.engine import LatencyHistogram
 #: ledger becomes ``completed + shed + error_responses == requests`` and
 #: batch accounting ``batched + cache_hits == completed + error_responses``
 #: (failed requests occupy batch slots too).
-SERVICE_BENCH_SCHEMA_VERSION = 3
+#: v4: the (nullable) ``saturation`` block — closed-loop offered-load ladder
+#: with knee detection, and the nested (nullable) ``saturation.scaling``
+#: series of the network path's per-process throughput and efficiency.
+SERVICE_BENCH_SCHEMA_VERSION = 4
 
 
 class ServiceBenchSchemaError(ValueError):
@@ -141,6 +151,28 @@ def hostile_mix_entry(family: str, trace, plan, result) -> dict:
     }
 
 
+def saturation_entry(saturation, scaling: dict | None = None) -> dict:
+    """The ``saturation`` block: the offered-load ladder plus its knee.
+
+    ``saturation`` is a :class:`repro.evaluation.SaturationResult` from
+    :meth:`repro.evaluation.ServiceLoadEngine.saturate`; ``scaling`` is the
+    (optional) network-path process-scaling series from
+    :func:`repro.service.net.bench.scaling_entry`.
+    """
+    return {
+        "mode": "closed-loop",
+        "client_ladder": [point.clients for point in saturation.points],
+        "points": [point.to_dict() for point in saturation.points],
+        "knee": {
+            "clients": saturation.knee_clients,
+            "throughput_rps": saturation.knee_throughput_rps,
+        },
+        "peak_throughput_rps": saturation.peak_throughput_rps,
+        "digest_match": saturation.digest_match,
+        "scaling": scaling,
+    }
+
+
 def service_bench_document(
     trace,
     result,
@@ -150,6 +182,7 @@ def service_bench_document(
     cache_comparison: dict | None = None,
     fault_plan=None,
     hostile_mix: list | None = None,
+    saturation: dict | None = None,
 ) -> dict:
     """Build the BENCH_service document for one load-engine run.
 
@@ -159,8 +192,9 @@ def service_bench_document(
     embeds the trace (with its content hash) next to the measurements.
     ``cache_comparison`` is an optional :func:`cache_comparison_entry` block,
     ``fault_plan`` the :class:`~repro.service.faults.FaultPlan` the primary
-    run injected, and ``hostile_mix`` an optional list of
-    :func:`hostile_mix_entry` blocks — all ``None`` when not run (the keys
+    run injected, ``hostile_mix`` an optional list of
+    :func:`hostile_mix_entry` blocks, and ``saturation`` an optional
+    :func:`saturation_entry` block — all ``None`` when not run (the keys
     are always present).
     """
     # Lazy import: repro.sweeps pulls the evaluation experiment stack, which
@@ -199,6 +233,7 @@ def service_bench_document(
         "fairness": fairness_entry(result),
         "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
         "hostile_mix": hostile_mix,
+        "saturation": saturation,
         "identity": {
             "checked": result.identity_checked,
             "mismatches": result.identity_mismatches,
@@ -256,6 +291,7 @@ _TOP_REQUIRED = (
     "fairness",
     "fault_plan",
     "hostile_mix",
+    "saturation",
     "identity",
     "outcome_digest",
     "healthy_digest",
@@ -382,6 +418,84 @@ def _check_hostile_mix(entries) -> None:
         _require(isinstance(entry["isolated"], bool), f"{path}.isolated must be a bool")
 
 
+def _check_scaling(entry) -> None:
+    _require(isinstance(entry, dict), "saturation.scaling must be an object or null")
+    for key in ("cpu_count", "process_counts", "series", "digest_match"):
+        _require(key in entry, f"saturation.scaling: missing key {key!r}")
+    _check_number(entry["cpu_count"], "saturation.scaling.cpu_count", low=1)
+    counts = entry["process_counts"]
+    _require(
+        isinstance(counts, list) and counts,
+        "saturation.scaling.process_counts must be a non-empty array",
+    )
+    series = entry["series"]
+    _require(
+        isinstance(series, list) and len(series) == len(counts),
+        "saturation.scaling.series must match process_counts",
+    )
+    for index, row in enumerate(series):
+        path = f"saturation.scaling.series[{index}]"
+        _require(isinstance(row, dict), f"{path}: expected an object")
+        for key in ("processes", "completed", "throughput_rps", "latency_p99_us", "efficiency"):
+            _require(key in row, f"{path}: missing key {key!r}")
+            _check_number(row[key], f"{path}.{key}", low=0)
+        _require(
+            isinstance(row["healthy_digest"], str) and row["healthy_digest"],
+            f"{path}.healthy_digest must be a non-empty string",
+        )
+        _require(row["processes"] == counts[index], f"{path}: processes out of order")
+    _require(
+        isinstance(entry["digest_match"], bool), "saturation.scaling.digest_match must be a bool"
+    )
+
+
+def _check_saturation(entry) -> None:
+    _require(isinstance(entry, dict), "saturation must be an object or null")
+    for key in ("mode", "client_ladder", "points", "knee", "peak_throughput_rps",
+                "digest_match", "scaling"):
+        _require(key in entry, f"saturation: missing key {key!r}")
+    _require(entry["mode"] == "closed-loop", "saturation.mode must be 'closed-loop'")
+    ladder = entry["client_ladder"]
+    _require(
+        isinstance(ladder, list) and ladder and ladder == sorted(set(ladder)),
+        "saturation.client_ladder must be a strictly increasing non-empty array",
+    )
+    points = entry["points"]
+    _require(
+        isinstance(points, list) and len(points) == len(ladder),
+        "saturation.points must match client_ladder",
+    )
+    for index, point in enumerate(points):
+        path = f"saturation.points[{index}]"
+        _require(isinstance(point, dict), f"{path}: expected an object")
+        for key in (
+            "clients",
+            "requests",
+            "completed",
+            "elapsed_seconds",
+            "throughput_rps",
+            "latency_p50_us",
+            "latency_p99_us",
+        ):
+            _require(key in point, f"{path}: missing key {key!r}")
+            _check_number(point[key], f"{path}.{key}", low=0)
+        _require(point["clients"] == ladder[index], f"{path}: clients out of order")
+        _require(
+            isinstance(point["healthy_digest"], str) and point["healthy_digest"],
+            f"{path}.healthy_digest must be a non-empty string",
+        )
+    knee = entry["knee"]
+    _require(isinstance(knee, dict), "saturation.knee must be an object")
+    for key in ("clients", "throughput_rps"):
+        _require(key in knee, f"saturation.knee: missing key {key!r}")
+        _check_number(knee[key], f"saturation.knee.{key}", low=0)
+    _require(knee["clients"] in ladder, "saturation.knee.clients must be a ladder rung")
+    _check_number(entry["peak_throughput_rps"], "saturation.peak_throughput_rps", low=0.0)
+    _require(isinstance(entry["digest_match"], bool), "saturation.digest_match must be a bool")
+    if entry["scaling"] is not None:
+        _check_scaling(entry["scaling"])
+
+
 def validate_service_bench(document: dict) -> None:
     """Validate a BENCH_service document; raises on any schema violation.
 
@@ -462,6 +576,8 @@ def validate_service_bench(document: dict) -> None:
         _check_fault_plan(document["fault_plan"], "fault_plan")
     if document["hostile_mix"] is not None:
         _check_hostile_mix(document["hostile_mix"])
+    if document["saturation"] is not None:
+        _check_saturation(document["saturation"])
     identity = document["identity"]
     _require(isinstance(identity, dict), "identity must be an object")
     for key in ("checked", "mismatches"):

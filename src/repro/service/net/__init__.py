@@ -1,0 +1,44 @@
+"""Network serving of the decode service: asyncio front end, process workers.
+
+The in-process :class:`~repro.service.DecodeService` scales across threads
+but not across cores (the decoders are pure Python under the GIL).  This
+package puts N *processes* behind one TCP endpoint without changing a single
+decoded bit:
+
+* :mod:`~repro.service.net.protocol` — the length-prefixed canonical-JSON
+  wire protocol (version-tagged; sync and asyncio framings).
+* :mod:`~repro.service.net.server` — :class:`NetServer`, the asyncio front
+  end: consistent-hash routing of session keys to worker processes,
+  graceful drain on stop/SIGTERM, isolated errors on worker death.
+* :mod:`~repro.service.net.worker` — the worker-process entry point; each
+  worker hosts an ordinary in-process service.
+* :mod:`~repro.service.net.client` — :class:`NetClient`, the synchronous
+  pipelined client mirroring the ``DecodeService`` surface.
+* :mod:`~repro.service.net.router` — :class:`HashRing`.
+* :mod:`~repro.service.net.shm` — shared-memory graph pack and syndrome
+  slab (the zero-copy data plane).
+* :mod:`~repro.service.net.bench` — digest-identical network replay and the
+  process-scaling series of ``BENCH_service.json``.
+"""
+
+from .bench import replay_network, scaling_bench
+from .client import NetClient, NetStream, ServerDrainingError
+from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
+from .router import HashRing
+from .server import NetServer
+from .shm import SharedGraphPack, SyndromeSlab
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "HashRing",
+    "NetClient",
+    "NetServer",
+    "NetStream",
+    "ProtocolError",
+    "ServerDrainingError",
+    "SharedGraphPack",
+    "SyndromeSlab",
+    "replay_network",
+    "scaling_bench",
+]

@@ -1,0 +1,285 @@
+"""Synchronous, pipelined client of the network decode service.
+
+:class:`NetClient` mirrors the in-process :class:`~repro.service.DecodeService`
+surface — ``submit`` returning a future, ``decode``/``decode_many`` blocking
+wrappers, ``open_stream`` — over one TCP connection speaking the protocol of
+:mod:`repro.service.net.protocol`.  Requests are **pipelined**: ``submit``
+writes the frame and returns immediately; a background reader thread matches
+``response`` frames back to futures by frame id, so a closed-loop client with
+``depth`` outstanding futures keeps ``depth`` requests in flight without any
+extra threads.
+
+The ``response`` frame on the wire is the full
+:meth:`~repro.service.DecodeResponse.from_dict` form, request echo included.
+The client swaps in its *local* :class:`~repro.service.DecodeRequest` object
+so identity comparisons (``response.request is request``) behave exactly as
+they do against an in-process service.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import Future
+
+from ..request import DecodeRequest, DecodeResponse, SessionKey
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_version,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+
+class ServerDrainingError(ConnectionError):
+    """The server announced a drain; it will not accept new work."""
+
+
+class NetClient:
+    """One TCP connection to a :class:`~repro.service.net.server.NetServer`.
+
+    Usable as a context manager::
+
+        with NetClient(host, port) as client:
+            response = client.decode(request)
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._write_lock = threading.Lock()
+        self._pending: dict[int, tuple[str, Future, DecodeRequest | None]] = {}
+        self._pending_lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        self._draining = False
+        write_frame_sync(
+            self._sock,
+            {"kind": "hello", "version": PROTOCOL_VERSION, "client": "repro-net-client"},
+        )
+        welcome = read_frame_sync(self._sock)
+        if welcome.get("kind") == "error":
+            raise ProtocolError(welcome.get("error", "handshake refused"))
+        if welcome.get("kind") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome.get('kind')!r}")
+        check_version(welcome)
+        #: Worker count and config hash the server reported at the handshake.
+        self.server_workers: int = welcome.get("workers", 0)
+        self.server_config_hash: str | None = welcome.get("config_hash")
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-net-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    # reader thread
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame_sync(self._sock)
+                kind = frame.get("kind")
+                if kind == "response":
+                    self._resolve_response(frame)
+                elif kind == "stream-reply":
+                    self._resolve(frame.get("id"), frame.get("result"))
+                elif kind == "error":
+                    self._resolve_error(frame)
+                elif kind == "drain":
+                    self._draining = True
+                # anything else (future protocol additions) is ignored
+        except (ConnectionError, OSError) as exc:
+            self._fail_all(exc if isinstance(exc, ConnectionError) else ConnectionError(str(exc)))
+
+    def _take(self, frame_id) -> tuple[str, Future, DecodeRequest | None] | None:
+        with self._pending_lock:
+            return self._pending.pop(frame_id, None)
+
+    def _resolve_response(self, frame: dict) -> None:
+        entry = self._take(frame.get("id"))
+        if entry is None:
+            return
+        _, future, request = entry
+        try:
+            response = DecodeResponse.from_dict(frame["response"])
+            if request is not None:
+                response = DecodeResponse(
+                    request=request,
+                    status=response.status,
+                    outcome=response.outcome,
+                    queue_delay_seconds=response.queue_delay_seconds,
+                    latency_seconds=response.latency_seconds,
+                    batch_size=response.batch_size,
+                    cached=response.cached,
+                    error=response.error,
+                )
+        except Exception as exc:  # undecodable response
+            future.set_exception(ProtocolError(f"bad response frame: {exc}"))
+            return
+        future.set_result(response)
+
+    def _resolve(self, frame_id, result) -> None:
+        entry = self._take(frame_id)
+        if entry is None:
+            return
+        _, future, _ = entry
+        if isinstance(result, dict) and "error" in result and set(result) == {"error"}:
+            future.set_exception(RuntimeError(result["error"]))
+        else:
+            future.set_result(result)
+
+    def _resolve_error(self, frame: dict) -> None:
+        frame_id = frame.get("id")
+        message = frame.get("error", "server error")
+        if frame_id is None:
+            self._fail_all(ProtocolError(message))
+            return
+        entry = self._take(frame_id)
+        if entry is None:
+            return
+        _, future, _ = entry
+        if "draining" in message:
+            future.set_exception(ServerDrainingError(message))
+        else:
+            future.set_exception(RuntimeError(message))
+
+    def _fail_all(self, exc: Exception) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for _, future, _ in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once the server has announced a drain."""
+        return self._draining
+
+    def _send(self, kind: str, future_kind: str, request, extra: dict) -> Future:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if self._draining:
+            # The server announced a drain: already-pipelined work will still
+            # be answered, but new work must go elsewhere.
+            raise ServerDrainingError("server is draining")
+        future: Future = Future()
+        with self._pending_lock:
+            self._next_id += 1
+            frame_id = self._next_id
+            self._pending[frame_id] = (future_kind, future, request)
+        try:
+            with self._write_lock:
+                write_frame_sync(self._sock, {"kind": kind, "id": frame_id, **extra})
+        except (ConnectionError, OSError) as exc:
+            self._take(frame_id)
+            raise ConnectionError(f"send failed: {exc}") from None
+        return future
+
+    def submit(self, request: DecodeRequest) -> Future:
+        """Pipeline one decode request; returns a future of DecodeResponse."""
+        return self._send("request", "request", request, {"request": request.to_dict()})
+
+    def decode(self, request: DecodeRequest, timeout: float | None = None) -> DecodeResponse:
+        """Synchronous convenience wrapper: :meth:`submit` + wait."""
+        return self.submit(request).result(timeout)
+
+    def decode_many(self, requests, timeout: float | None = None) -> list[DecodeResponse]:
+        """Pipeline many requests, then wait for all (responses in input order)."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        key: SessionKey,
+        *,
+        window: int | None = None,
+        commit_depth: int | None = None,
+        timeout: float | None = None,
+    ) -> "NetStream":
+        """Open a streaming decode session routed to ``key``'s worker."""
+        with self._pending_lock:
+            self._next_id += 1
+            sid = self._next_id
+        stream = NetStream(self, sid)
+        self._send(
+            "stream-open",
+            "stream",
+            None,
+            {
+                "stream": sid,
+                "session": key.to_dict(),
+                "window": window,
+                "commit_depth": commit_depth,
+            },
+        ).result(timeout)
+        return stream
+
+    def _stream_op(self, sid: int, op: str, payload) -> Future:
+        return self._send(
+            "stream-op", "stream", None, {"stream": sid, "op": op, "payload": payload}
+        )
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Say bye and tear the connection down; pending futures error out."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._write_lock:
+                write_frame_sync(self._sock, {"kind": "bye"})
+        except (ConnectionError, OSError):
+            pass
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(1.0)
+        self._fail_all(ConnectionError("client closed"))
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NetStream:
+    """Client-side handle of one streaming session.
+
+    The future-returning surface matches
+    :class:`repro.service.service.ServiceStream`: ``begin`` resolves to
+    ``None``, ``push_round`` to a cost-counter dict, ``finalize`` to the
+    outcome's wire dict.
+    """
+
+    def __init__(self, client: NetClient, sid: int) -> None:
+        self._client = client
+        self._sid = sid
+
+    def begin(self, rounds_hint: int | None = None) -> Future:
+        return self._client._stream_op(self._sid, "begin", rounds_hint)
+
+    def push_round(self, defects) -> Future:
+        return self._client._stream_op(self._sid, "push", list(defects))
+
+    def finalize(self) -> Future:
+        return self._client._stream_op(self._sid, "finalize", None)
+
+    def decode_rounds(self, rounds, timeout: float | None = None):
+        """Blocking convenience: begin, push every round, finalize."""
+        self.begin().result(timeout)
+        for defects in rounds:
+            self.push_round(defects).result(timeout)
+        return self.finalize().result(timeout)

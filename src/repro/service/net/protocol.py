@@ -1,0 +1,154 @@
+"""The length-prefixed canonical-JSON wire protocol of the network service.
+
+One frame = a 4-byte big-endian payload length followed by that many bytes of
+canonical JSON (:func:`repro.api.hashing.canonical_json`: sorted keys, no
+whitespace) — the same canonical form the content hashes use, so a frame's
+bytes are a pure function of its logical content.  Every frame is a JSON
+object with a ``kind`` and, on the very first frame of a connection, a
+protocol ``version``; unknown versions are rejected at the handshake, never
+mid-stream.
+
+Frame kinds (client → server unless noted):
+
+========================  ====================================================
+``hello``                 Opens a connection: ``{kind, version, client}``.
+``welcome``               (server) Handshake reply: ``{kind, version,
+                          workers, config_hash}`` — the hash of the server's
+                          :class:`repro.service.ServiceConfig`, so a client
+                          can confirm *what* it is talking to.
+``request``               One decode request: ``{kind, id, request}`` where
+                          ``request`` is
+                          :meth:`repro.service.DecodeRequest.to_dict`.
+``response``              (server) The answer: ``{kind, id, response}`` where
+                          ``response`` is
+                          :meth:`repro.service.DecodeResponse.to_dict`.
+``stream-open``           Open a streaming session: ``{kind, id, stream,
+                          session, window, commit_depth}``.
+``stream-op``             One stream operation: ``{kind, id, stream, op,
+                          payload}`` with ``op`` ∈ begin/push/finalize.
+``stream-reply``          (server) Stream result: ``{kind, id, result}``
+                          (``begin`` → null, ``push`` → counter dict,
+                          ``finalize`` → outcome dict).
+``error``                 (server) Protocol-level failure: ``{kind, id,
+                          error}`` (``id`` null for connection-level errors).
+``drain``                 (server) The server is draining: already-admitted
+                          work will still be answered, new work will not be
+                          accepted — reconnect elsewhere/later.
+``bye``                   Client is closing the connection.
+========================  ====================================================
+
+The module offers both blocking-socket helpers (the synchronous client) and
+``asyncio`` stream helpers (the server) over the identical byte format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+from ...api.hashing import canonical_json
+
+#: Version tag of this wire protocol; bumped on any incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload (guards against hostile/corrupt length
+#: prefixes allocating unbounded buffers; generous for any real batch).
+MAX_FRAME_BYTES = 16 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, oversized, or version-incompatible frame."""
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Length-prefixed canonical-JSON bytes of one frame."""
+    payload = canonical_json(frame).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload; every frame must be a JSON object."""
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(frame, dict) or "kind" not in frame:
+        raise ProtocolError("frame is not an object with a 'kind'")
+    return frame
+
+
+def check_version(frame: dict) -> None:
+    """Reject a handshake frame of any other protocol version."""
+    version = frame.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# blocking-socket framing (synchronous client)
+# ---------------------------------------------------------------------------
+def write_frame_sync(sock: socket.socket, frame: dict) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(frame))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> dict:
+    """Read one frame from a blocking socket (raises ConnectionError on EOF)."""
+    header = sock.recv(_LENGTH.size)
+    if not header:
+        raise ConnectionError("connection closed")
+    while len(header) < _LENGTH.size:
+        more = sock.recv(_LENGTH.size - len(header))
+        if not more:
+            raise ConnectionError("connection closed mid-frame")
+        header += more
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return decode_payload(_recv_exact(sock, length))
+
+
+# ---------------------------------------------------------------------------
+# asyncio framing (server)
+# ---------------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ConnectionError("connection closed mid-frame") from None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ConnectionError("connection closed mid-frame") from None
+    return decode_payload(payload)
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: dict) -> None:
+    """Queue one frame on an asyncio writer (call from the loop thread)."""
+    writer.write(encode_frame(frame))

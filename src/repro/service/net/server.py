@@ -1,0 +1,615 @@
+"""The asyncio front end of the network decode service.
+
+:class:`NetServer` is the process that owns the listening socket, the worker
+pool, and the shared-memory data plane:
+
+* **Accept path.**  An asyncio TCP server speaks the length-prefixed
+  canonical-JSON protocol of :mod:`repro.service.net.protocol`.  All
+  connection state lives on the event loop; there is exactly one loop
+  thread, so per-connection bookkeeping needs no locks.
+* **Worker pool.**  ``processes`` worker processes are forked at
+  :meth:`start` (before the loop thread exists — fork-safety), each hosting
+  an in-process :class:`~repro.service.DecodeService` built from the same
+  :class:`~repro.service.ServiceConfig`.  Requests travel over per-worker
+  pipes; one reader thread per worker posts replies back into the loop with
+  ``call_soon_threadsafe``.
+* **Routing.**  A consistent-hash :class:`~repro.service.net.router.HashRing`
+  maps each request's :meth:`~repro.service.SessionKey.key_hash` to a
+  worker, so a session's decoder stays cached in one process.
+* **Data plane.**  Immutable decoding graphs are packed once into a
+  :class:`~repro.service.net.shm.SharedGraphPack`; per-request defect lists
+  ride the :class:`~repro.service.net.shm.SyndromeSlab` instead of the pipe.
+* **Drain.**  :meth:`stop` (or SIGTERM under :meth:`run_forever`) closes the
+  listener, tells clients via ``drain`` frames, waits for in-flight work,
+  drains every worker's service, and joins the processes.  A worker that
+  dies instead answers its in-flight requests with isolated
+  ``STATUS_ERROR`` responses, leaves the ring, and its keys re-route — the
+  contract is "errors, never a hang".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+from ..config import ServiceConfig
+from ..request import STATUS_ERROR, SessionKey
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_version,
+    read_frame,
+    write_frame,
+)
+from .router import HashRing
+from .shm import SharedGraphPack, SyndromeSlab
+from .worker import worker_main
+
+#: Default bound on drain (stop/SIGTERM): in-flight wait + per-worker acks.
+DEFAULT_DRAIN_TIMEOUT_SECONDS = 60.0
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "alive", "drained")
+
+    def __init__(self, worker_id, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.drained = threading.Event()
+
+
+class _Pending:
+    """One request/stream-op in flight between front end and a worker."""
+
+    __slots__ = ("kind", "client", "frame_id", "request_wire", "slot", "worker_id")
+
+    def __init__(self, kind, client, frame_id, request_wire, slot, worker_id):
+        self.kind = kind  # "request" | "stream"
+        self.client = client
+        self.frame_id = frame_id
+        self.request_wire = request_wire
+        self.slot = slot
+        self.worker_id = worker_id
+
+
+class _Client:
+    """Per-connection state (owned by the loop thread)."""
+
+    __slots__ = ("writer", "open")
+
+    def __init__(self, writer):
+        self.writer = writer
+        self.open = True
+
+
+class NetServer:
+    """Horizontally scaled decode service over TCP.
+
+    ``prewarm`` is an iterable of :class:`~repro.service.CodeSpec` whose
+    graphs are packed into shared memory before the workers fork; any other
+    code spec still decodes (the worker builds its graph locally).
+
+    Usage (embedded)::
+
+        server = NetServer(ServiceConfig(workers=2), processes=2,
+                           prewarm=[CodeSpec(3, physical_error_rate=0.02)])
+        host, port = server.start()
+        ... NetClient(host, port) ...
+        server.stop()
+
+    or standalone with signal-driven drain: :meth:`run_forever`.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        processes: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prewarm=(),
+        slab_slots: int = 256,
+        slab_slot_capacity: int = 512,
+        drain_timeout_seconds: float = DEFAULT_DRAIN_TIMEOUT_SECONDS,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.config = config if config is not None else ServiceConfig()
+        if not isinstance(self.config, ServiceConfig):
+            raise TypeError(f"config must be a ServiceConfig, got {type(config).__name__}")
+        self.processes = processes
+        self.host = host
+        self.port = port
+        self.prewarm = tuple(prewarm)
+        self.drain_timeout_seconds = drain_timeout_seconds
+        self._slab_slots = slab_slots
+        self._slab_slot_capacity = slab_slot_capacity
+        self._pack: SharedGraphPack | None = None
+        self._slab: SyndromeSlab | None = None
+        self._workers: dict[int, _Worker] = {}
+        self._ring: HashRing | None = None
+        self._pending: dict[int, _Pending] = {}
+        self._streams: dict[tuple[int, int], int] = {}  # (client id, sid) -> worker
+        self._clients: dict[int, _Client] = {}
+        self._reader_threads: list[threading.Thread] = []
+        self._seq = 0
+        self._client_ids = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._ready = threading.Event()
+        self._started = False
+        self._stopped = False
+        self._draining = False
+        self._refusing = False  # second drain stage: workers are going away
+        self._idle = asyncio.Event()  # set while no work is pending
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Pack graphs, fork workers, start the loop thread; returns (host, port)."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        graphs = {}
+        for spec in self.prewarm:
+            graphs.setdefault(spec.key(), spec.build_graph())
+        if graphs:
+            self._pack = SharedGraphPack.create(graphs)
+        self._slab = SyndromeSlab.create(self._slab_slots, self._slab_slot_capacity)
+        # Fork BEFORE any thread exists: fork() of a multithreaded process
+        # can deadlock the child.  "fork" shares the shared-memory mappings
+        # and module state cheaply; the workers re-attach by name anyway, so
+        # a "spawn"-only platform would also work (slower start).
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        for worker_id in range(self.processes):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                name=f"repro-net-worker-{worker_id}",
+                args=(
+                    worker_id,
+                    child_conn,
+                    self._pack.name if self._pack is not None else None,
+                    self._slab.name,
+                    self._slab_slots,
+                    self._slab_slot_capacity,
+                    self.config.to_dict(),
+                    self.drain_timeout_seconds,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers[worker_id] = _Worker(worker_id, process, parent_conn)
+        self._ring = HashRing(self._workers)
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="repro-net-loop", daemon=True
+        )
+        self._loop_thread.start()
+        self._ready.wait()
+        for worker in self._workers.values():
+            thread = threading.Thread(
+                target=self._read_worker,
+                args=(worker,),
+                name=f"repro-net-reader-{worker.worker_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._reader_threads.append(thread)
+        return (self.host, self.port)
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+        async def boot():
+            self._server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            self._ready.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+        # Cancel whatever outlived run_forever, then close the loop cleanly.
+        tasks = asyncio.all_tasks(self._loop)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            self._loop.run_until_complete(
+                asyncio.gather(*tasks, return_exceptions=True)
+            )
+        self._loop.close()
+
+    def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, drain workers."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        deadline = time.monotonic() + self.drain_timeout_seconds
+        done = threading.Event()
+        asyncio.run_coroutine_threadsafe(
+            self._drain_async(done), self._loop
+        )
+        done.wait(self.drain_timeout_seconds)
+        # From here on the workers are going away: late frames (a client
+        # submitting past the drain notice and the in-flight wait) must be
+        # refused rather than forwarded into drained workers.
+        self._loop.call_soon_threadsafe(setattr, self, "_refusing", True)
+        # Ask every live worker to drain; they answer ("drained",).
+        for worker in self._workers.values():
+            if not worker.alive:
+                continue
+            try:
+                worker.conn.send(("drain",))
+            except (BrokenPipeError, OSError):
+                worker.alive = False
+        for worker in self._workers.values():
+            if worker.alive:
+                worker.drained.wait(max(0.0, deadline - time.monotonic()))
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(5.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(5.0)
+        for thread in self._reader_threads:
+            thread.join(1.0)
+        if self._slab is not None:
+            self._slab.close()
+        if self._pack is not None:
+            self._pack.close()
+
+    async def _drain_async(self, done: threading.Event) -> None:
+        """Loop-side half of stop(): notify clients, wait for in-flight.
+
+        Frames a client sent before it saw the ``drain`` notice are already
+        admitted — they keep being served; a well-behaved client
+        (:class:`~repro.service.net.client.NetClient`) refuses *new* work
+        locally once notified, and ``drain_timeout_seconds`` bounds the rest.
+        """
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        for client in self._clients.values():
+            if client.open:
+                try:
+                    write_frame(client.writer, {"kind": "drain", "reason": "server stopping"})
+                    await client.writer.drain()
+                except (ConnectionError, OSError):
+                    client.open = False
+        deadline = self._loop.time() + self.drain_timeout_seconds
+        while self._loop.time() < deadline:
+            if self._pending:
+                self._idle.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._idle.wait(), deadline - self._loop.time()
+                    )
+                except asyncio.TimeoutError:  # pragma: no cover - wedged worker
+                    break
+            # One settle tick: frames already inside connection buffers get
+            # parsed and registered before we conclude the drain is complete.
+            await asyncio.sleep(0.05)
+            if not self._pending:
+                break
+        done.set()
+
+    def run_forever(self) -> None:
+        """Standalone serving: start, then drain on SIGTERM/SIGINT and exit."""
+        stop_signal = threading.Event()
+
+        def on_signal(signum, _frame):
+            stop_signal.set()
+
+        previous_term = signal.signal(signal.SIGTERM, on_signal)
+        previous_int = signal.signal(signal.SIGINT, on_signal)
+        try:
+            host, port = self.start()
+            print(
+                f"serving on {host}:{port} pid={os.getpid()} "
+                f"processes={self.processes} config={self.config.config_hash()}",
+                flush=True,
+            )
+            stop_signal.wait()
+            print("draining...", flush=True)
+            self.stop()
+            print("drained, bye", flush=True)
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+
+    # ------------------------------------------------------------------
+    # worker plumbing (reader threads -> loop thread)
+    # ------------------------------------------------------------------
+    def _read_worker(self, worker: _Worker) -> None:
+        while True:
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                if not self._stopped:
+                    self._loop.call_soon_threadsafe(self._on_worker_death, worker)
+                return
+            if message[0] == "drained":
+                worker.drained.set()
+                return
+            self._loop.call_soon_threadsafe(self._on_worker_message, worker, message)
+
+    def _on_worker_message(self, worker: _Worker, message: tuple) -> None:
+        kind = message[0]
+        if kind == "response":
+            _, seq, payload = message
+            pending = self._pending.pop(seq, None)
+            if pending is None:
+                return
+            if pending.slot is not None:
+                self._slab.free(pending.slot)
+            self._answer(pending, payload)
+        elif kind == "stream-reply":
+            _, seq, result = message
+            pending = self._pending.pop(seq, None)
+            if pending is None:
+                return
+            self._answer(pending, result)
+        if not self._pending:
+            self._idle.set()
+
+    def _answer(self, pending: _Pending, payload) -> None:
+        client = pending.client
+        if not client.open:
+            return
+        if pending.kind == "request":
+            frame = {
+                "kind": "response",
+                "id": pending.frame_id,
+                "response": {**payload, "request": pending.request_wire},
+            }
+        else:
+            frame = {"kind": "stream-reply", "id": pending.frame_id, "result": payload}
+        try:
+            write_frame(client.writer, frame)
+        except (ConnectionError, OSError):  # pragma: no cover - racing close
+            client.open = False
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        """A worker died: isolate the blast radius, re-route its keys."""
+        if not worker.alive:
+            return
+        worker.alive = False
+        worker.drained.set()
+        self._ring.remove(worker.worker_id)
+        dead = [
+            (seq, pending)
+            for seq, pending in self._pending.items()
+            if pending.worker_id == worker.worker_id
+        ]
+        for seq, pending in dead:
+            del self._pending[seq]
+            if pending.slot is not None:
+                self._slab.free(pending.slot)
+            if pending.kind == "request":
+                self._answer(
+                    pending,
+                    {
+                        "status": STATUS_ERROR,
+                        "outcome": None,
+                        "queue_delay_seconds": 0.0,
+                        "latency_seconds": 0.0,
+                        "batch_size": 0,
+                        "cached": False,
+                        "error": f"WorkerDied: worker {worker.worker_id} exited mid-request",
+                    },
+                )
+            else:
+                self._answer(
+                    pending,
+                    {"error": f"WorkerDied: worker {worker.worker_id} exited mid-stream"},
+                )
+        self._streams = {
+            key: owner for key, owner in self._streams.items() if owner != worker.worker_id
+        }
+        if not self._pending:
+            self._idle.set()
+
+    def _route(self, key_hash: str) -> _Worker | None:
+        while True:
+            try:
+                worker_id = self._ring.route(key_hash)
+            except LookupError:
+                return None
+            worker = self._workers[worker_id]
+            if worker.alive:
+                return worker
+            # The reader thread has not posted the death yet; drop the
+            # worker here and re-route.
+            self._on_worker_death(worker)
+
+    def _send_to_worker(self, worker: _Worker, message: tuple) -> bool:
+        try:
+            worker.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            self._on_worker_death(worker)
+            return False
+
+    # ------------------------------------------------------------------
+    # client connections (loop thread)
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        self._client_ids += 1
+        client_id = self._client_ids
+        client = _Client(writer)
+        self._clients[client_id] = client
+        try:
+            hello = await read_frame(reader)
+            if hello is None:
+                return
+            if hello.get("kind") != "hello":
+                raise ProtocolError(f"expected hello, got {hello.get('kind')!r}")
+            check_version(hello)
+            write_frame(
+                writer,
+                {
+                    "kind": "welcome",
+                    "version": PROTOCOL_VERSION,
+                    "workers": len(self._ring),
+                    "config_hash": self.config.config_hash(),
+                },
+            )
+            await writer.drain()
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame.get("kind") == "bye":
+                    return
+                self._handle_frame(client_id, client, frame)
+                await writer.drain()
+        except ProtocolError as exc:
+            try:
+                write_frame(writer, {"kind": "error", "id": None, "error": str(exc)})
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            client.open = False
+            del self._clients[client_id]
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _refuse(self, client: _Client, frame_id, reason: str) -> None:
+        write_frame(client.writer, {"kind": "error", "id": frame_id, "error": reason})
+
+    def _handle_frame(self, client_id: int, client: _Client, frame: dict) -> None:
+        kind = frame.get("kind")
+        frame_id = frame.get("id")
+        if self._refusing:
+            self._refuse(client, frame_id, "server is draining")
+            return
+        if kind == "request":
+            self._handle_request(client, frame)
+        elif kind == "stream-open":
+            self._handle_stream_open(client_id, client, frame)
+        elif kind == "stream-op":
+            self._handle_stream_op(client_id, client, frame)
+        else:
+            self._refuse(client, frame_id, f"unknown frame kind {kind!r}")
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _handle_request(self, client: _Client, frame: dict) -> None:
+        frame_id = frame.get("id")
+        wire = frame.get("request")
+        try:
+            key_hash = SessionKey.from_dict(wire["session"]).key_hash()
+        except Exception as exc:
+            self._refuse(client, frame_id, f"bad request: {type(exc).__name__}: {exc}")
+            return
+        worker = self._route(key_hash)
+        if worker is None:
+            self._answer_no_worker(client, frame_id, wire)
+            return
+        # Zero-copy defect handoff: defects ride the shared slab, the pipe
+        # carries (slot, count) and a defect-less wire form.
+        defects = wire.get("syndrome", {}).get("defects", [])
+        slot = self._slab.write(defects) if defects else None
+        if slot is not None:
+            wire = {**wire, "syndrome": {**wire["syndrome"], "defects": []}}
+            count = len(defects)
+        else:
+            count = 0
+        seq = self._next_seq()
+        original_wire = frame["request"]
+        self._pending[seq] = _Pending(
+            "request", client, frame_id, original_wire, slot, worker.worker_id
+        )
+        self._idle.clear()
+        if not self._send_to_worker(worker, ("request", seq, wire, slot, count)):
+            # _on_worker_death already answered and cleaned up this pending.
+            return
+
+    def _answer_no_worker(self, client: _Client, frame_id, wire: dict) -> None:
+        pending = _Pending("request", client, frame_id, wire, None, -1)
+        self._answer(
+            pending,
+            {
+                "status": STATUS_ERROR,
+                "outcome": None,
+                "queue_delay_seconds": 0.0,
+                "latency_seconds": 0.0,
+                "batch_size": 0,
+                "cached": False,
+                "error": "NoWorkers: every worker process has exited",
+            },
+        )
+
+    def _handle_stream_open(self, client_id: int, client: _Client, frame: dict) -> None:
+        frame_id = frame.get("id")
+        sid = frame.get("stream")
+        try:
+            key_hash = SessionKey.from_dict(frame["session"]).key_hash()
+        except Exception as exc:
+            self._refuse(client, frame_id, f"bad session: {type(exc).__name__}: {exc}")
+            return
+        worker = self._route(key_hash)
+        if worker is None:
+            self._refuse(client, frame_id, "NoWorkers: every worker process has exited")
+            return
+        self._streams[(client_id, sid)] = worker.worker_id
+        seq = self._next_seq()
+        self._pending[seq] = _Pending("stream", client, frame_id, None, None, worker.worker_id)
+        self._idle.clear()
+        self._send_to_worker(
+            worker,
+            (
+                "stream-open",
+                seq,
+                f"{client_id}:{sid}",
+                frame["session"],
+                frame.get("window"),
+                frame.get("commit_depth"),
+            ),
+        )
+
+    def _handle_stream_op(self, client_id: int, client: _Client, frame: dict) -> None:
+        frame_id = frame.get("id")
+        sid = frame.get("stream")
+        worker_id = self._streams.get((client_id, sid))
+        if worker_id is None:
+            self._refuse(client, frame_id, f"unknown stream {sid!r}")
+            return
+        worker = self._workers[worker_id]
+        if not worker.alive:
+            self._refuse(client, frame_id, f"WorkerDied: stream {sid!r} lost its worker")
+            return
+        op = frame.get("op")
+        if op == "finalize":
+            self._streams.pop((client_id, sid), None)
+        seq = self._next_seq()
+        self._pending[seq] = _Pending("stream", client, frame_id, None, None, worker.worker_id)
+        self._idle.clear()
+        self._send_to_worker(
+            worker, ("stream-op", seq, f"{client_id}:{sid}", op, frame.get("payload"))
+        )

@@ -76,6 +76,34 @@ class CodeSpec:
         model = noise_model_by_name(self.noise, self.physical_error_rate)
         return surface_code_decoding_graph(self.distance, model, rounds=self.rounds)
 
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form (the network service's session codec).
+
+        >>> CodeSpec(3).to_dict()["distance"]
+        3
+        """
+        return {
+            "distance": self.distance,
+            "noise": self.noise,
+            "physical_error_rate": self.physical_error_rate,
+            "rounds": self.rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CodeSpec":
+        """Inverse of :meth:`to_dict`.
+
+        >>> CodeSpec.from_dict(CodeSpec(5, rounds=2).to_dict())
+        CodeSpec(distance=5, noise='circuit_level', physical_error_rate=0.001, rounds=2)
+        """
+        rounds = data.get("rounds")
+        return cls(
+            distance=int(data["distance"]),
+            noise=str(data.get("noise", "circuit_level")),
+            physical_error_rate=float(data.get("physical_error_rate", 0.001)),
+            rounds=None if rounds is None else int(rounds),
+        )
+
 
 @dataclass(frozen=True)
 class SessionKey:
@@ -123,6 +151,31 @@ class SessionKey:
         """16-hex-digit content hash of :meth:`key` (fits in filenames/logs)."""
         return content_hash({"session": self.key()})
 
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form.  ``config`` is always the normalised
+        (non-``None``) configuration, so the wire form round-trips to an
+        *equal* key even when the sender omitted the config.
+
+        >>> key = SessionKey(CodeSpec(3), "union-find")
+        >>> SessionKey.from_dict(key.to_dict()) == key
+        True
+        """
+        return {
+            "code": self.code.to_dict(),
+            "decoder": self.decoder,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionKey":
+        """Inverse of :meth:`to_dict` (``config: null`` means registry default)."""
+        config = data.get("config")
+        return cls(
+            code=CodeSpec.from_dict(data["code"]),
+            decoder=str(data.get("decoder", "micro-blossom")),
+            config=None if config is None else DecoderConfig.from_dict(config),
+        )
+
 
 @dataclass(frozen=True)
 class DecodeRequest:
@@ -135,6 +188,29 @@ class DecodeRequest:
     session: SessionKey
     syndrome: Syndrome
     request_id: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form — exactly what one ``request`` TCP frame
+        carries (see :mod:`repro.service.net.protocol`).
+
+        >>> request = DecodeRequest(SessionKey(CodeSpec(3), "union-find"), Syndrome((1,)))
+        >>> DecodeRequest.from_dict(request.to_dict()) == request
+        True
+        """
+        return {
+            "session": self.session.to_dict(),
+            "syndrome": self.syndrome.to_dict(),
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecodeRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            session=SessionKey.from_dict(data["session"]),
+            syndrome=Syndrome.from_dict(data["syndrome"]),
+            request_id=int(data.get("request_id", 0)),
+        )
 
 
 @dataclass
@@ -172,3 +248,41 @@ class DecodeResponse:
     def ok(self) -> bool:
         """True when the request was decoded (not shed or failed)."""
         return self.status == STATUS_OK
+
+    def to_dict(self) -> dict:
+        """JSON-shaped wire form — the payload of one ``response`` TCP frame.
+
+        The outcome flattens to a plain :class:`~repro.api.DecodeOutcome`
+        (see :meth:`repro.api.DecodeOutcome.to_dict`), which preserves every
+        field the digest/identity contracts compare.
+
+        >>> request = DecodeRequest(SessionKey(CodeSpec(3), "union-find"), Syndrome(()))
+        >>> response = DecodeResponse(request, status=STATUS_SHED)
+        >>> DecodeResponse.from_dict(response.to_dict()) == response
+        True
+        """
+        return {
+            "request": self.request.to_dict(),
+            "status": self.status,
+            "outcome": None if self.outcome is None else self.outcome.to_dict(),
+            "queue_delay_seconds": self.queue_delay_seconds,
+            "latency_seconds": self.latency_seconds,
+            "batch_size": self.batch_size,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecodeResponse":
+        """Inverse of :meth:`to_dict`."""
+        outcome = data.get("outcome")
+        return cls(
+            request=DecodeRequest.from_dict(data["request"]),
+            status=str(data.get("status", STATUS_OK)),
+            outcome=None if outcome is None else DecodeOutcome.from_dict(outcome),
+            queue_delay_seconds=float(data.get("queue_delay_seconds", 0.0)),
+            latency_seconds=float(data.get("latency_seconds", 0.0)),
+            batch_size=int(data.get("batch_size", 0)),
+            cached=bool(data.get("cached", False)),
+            error=data.get("error"),
+        )

@@ -36,9 +36,11 @@ from __future__ import annotations
 import queue as queue_module
 import threading
 import time
+import warnings
 from collections import Counter, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Callable, Iterable
 
 from ..api.outcome import DecodeOutcome
@@ -47,7 +49,8 @@ from ..lut.outcome_cache import OutcomeCache, outcome_cache_key
 from ..stream import get_streaming_decoder
 from .batcher import Batch, MicroBatcher
 from .cache import SessionCache, SessionFactory, build_session
-from .faults import FaultInjector, FaultPlan
+from .config import OVERLOAD_POLICIES, ServiceConfig
+from .faults import FaultInjector
 from .request import (
     STATUS_ERROR,
     STATUS_SHED,
@@ -56,8 +59,20 @@ from .request import (
     SessionKey,
 )
 
-#: Overload policies of the bounded admission queue.
-OVERLOAD_POLICIES = ("block", "shed")
+__all__ = [
+    "OVERLOAD_POLICIES",  # re-exported; lives in repro.service.config now
+    "DecodeService",
+    "ServiceClosedError",
+    "ServiceDrainError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "ServiceStream",
+    "service_histogram",
+]
+
+#: The DecodeService keyword arguments absorbed by :class:`ServiceConfig`
+#: (accepted individually only through the deprecation shim).
+_CONFIG_KWARGS = frozenset(spec.name for spec in dataclass_fields(ServiceConfig))
 
 #: Service histograms span 100 ns .. 10 s (queue delays under load dwarf the
 #: decode latencies the evaluation histograms are tuned for).
@@ -217,11 +232,16 @@ class DecodeService:
     Submissions are accepted before :meth:`start` (they wait on the queue),
     which is also how tests exercise backpressure deterministically.
 
+    Sizing and policy live in a :class:`~repro.service.ServiceConfig`; the
+    remaining keyword arguments (``clock``, ``session_factory``, ``sleep``)
+    are runtime injection points, not configuration.  Passing the old sizing
+    kwargs directly still works through a deprecation shim.
+
     >>> from repro.graphs import SyndromeSampler
     >>> from repro.service import CodeSpec, DecodeRequest, SessionKey
     >>> key = SessionKey(CodeSpec(3, physical_error_rate=0.02), "union-find")
     >>> sampler = SyndromeSampler(CodeSpec(3, physical_error_rate=0.02).build_graph(), seed=5)
-    >>> with DecodeService(workers=2, max_wait_seconds=0.001) as service:
+    >>> with DecodeService(ServiceConfig(workers=2, max_wait_seconds=0.001)) as service:
     ...     response = service.decode(DecodeRequest(key, sampler.sample()))
     >>> response.ok and response.batch_size >= 1
     True
@@ -229,43 +249,44 @@ class DecodeService:
 
     def __init__(
         self,
+        config: ServiceConfig | None = None,
         *,
-        max_batch_size: int = 32,
-        max_wait_seconds: float = 0.002,
-        queue_capacity: int = 1024,
-        workers: int = 2,
-        max_sessions: int = 8,
-        overload_policy: str = "block",
         clock: Callable[[], float] = time.monotonic,
         session_factory: SessionFactory = build_session,
-        outcome_cache_bytes: int | None = None,
-        fault_plan: FaultPlan | None = None,
-        session_build_retries: int = 0,
-        session_build_backoff_seconds: float = 0.0,
         sleep: Callable[[float], None] = time.sleep,
+        **legacy,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if queue_capacity < 1:
-            raise ValueError("queue_capacity must be >= 1")
-        if overload_policy not in OVERLOAD_POLICIES:
-            raise ValueError(
-                f"overload_policy must be one of {OVERLOAD_POLICIES}, "
-                f"got {overload_policy!r}"
+        if legacy:
+            unknown = sorted(set(legacy) - _CONFIG_KWARGS)
+            if unknown:
+                raise TypeError(f"DecodeService got unexpected keyword arguments: {unknown}")
+            if config is not None:
+                raise TypeError(
+                    "pass sizing either as DecodeService(config=ServiceConfig(...)) "
+                    "or as legacy keyword arguments, not both"
+                )
+            warnings.warn(
+                "passing DecodeService sizing keywords directly is deprecated; "
+                "use DecodeService(config=ServiceConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if session_build_retries < 0:
-            raise ValueError("session_build_retries must be >= 0")
-        if session_build_backoff_seconds < 0:
-            raise ValueError("session_build_backoff_seconds must be non-negative")
-        self.workers = workers
-        self.overload_policy = overload_policy
-        self.session_build_retries = session_build_retries
-        self.session_build_backoff_seconds = session_build_backoff_seconds
+            config = ServiceConfig(**legacy)
+        elif config is None:
+            config = ServiceConfig()
+        elif not isinstance(config, ServiceConfig):
+            raise TypeError(f"config must be a ServiceConfig, got {type(config).__name__}")
+        self.config = config
+        self.workers = config.workers
+        self.overload_policy = config.overload_policy
+        self.session_build_retries = config.session_build_retries
+        self.session_build_backoff_seconds = config.session_build_backoff_seconds
         self._clock = clock
         self._sleep = sleep
         # Deterministic fault injection (repro.service.faults): wraps the
         # session factory with seed-stable build crashes and delays straggler
         # workers.  None, or an inactive plan, injects nothing.
+        fault_plan = config.fault_plan
         self._injector: FaultInjector | None = (
             FaultInjector(fault_plan)
             if fault_plan is not None and fault_plan.is_active()
@@ -273,20 +294,21 @@ class DecodeService:
         )
         if self._injector is not None:
             session_factory = self._injector.wrap_factory(session_factory)
-        self._queue: queue_module.Queue = queue_module.Queue(maxsize=queue_capacity)
+        self._queue: queue_module.Queue = queue_module.Queue(maxsize=config.queue_capacity)
         self._batcher = MicroBatcher(
-            max_batch_size=max_batch_size,
-            max_wait_seconds=max_wait_seconds,
+            max_batch_size=config.max_batch_size,
+            max_wait_seconds=config.max_wait_seconds,
         )
-        self._sessions = SessionCache(max_sessions=max_sessions, session_factory=session_factory)
+        self._sessions = SessionCache(
+            max_sessions=config.max_sessions, session_factory=session_factory
+        )
         # Content-addressed decode-outcome cache (repro.lut), consulted in
         # submit() before a request ever reaches the micro-batcher.  None /
         # 0 / negative ⇒ disabled (the default: memoisation across requests
         # is only worth its bytes for repeat-heavy traffic).
+        cache_bytes = config.outcome_cache_bytes
         self.outcome_cache: OutcomeCache | None = (
-            OutcomeCache(outcome_cache_bytes)
-            if outcome_cache_bytes is not None and outcome_cache_bytes > 0
-            else None
+            OutcomeCache(cache_bytes) if cache_bytes is not None and cache_bytes > 0 else None
         )
         self._pool: ThreadPoolExecutor | None = None
         self._dispatcher: threading.Thread | None = None
@@ -616,7 +638,23 @@ class DecodeService:
     # observability
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> dict:
-        """A consistent plain-dict snapshot of service + session statistics."""
+        """One consistent plain-dict snapshot of service + session statistics.
+
+        The whole snapshot — request counters, queue depth, and the nested
+        session/outcome-cache/fault snapshots — is assembled under the stats
+        lock, so the top-level counters are mutually consistent: a reader
+        never observes ``completed`` incremented without its latency sample,
+        or a ``submitted``/``completed`` pair torn across a request.
+
+        What may still race (by design — workers only take the stats lock at
+        request *completion*): the nested snapshots take their own component
+        locks inside the stats lock, so the session and outcome-cache
+        counters can run *ahead* of the request counters by work currently
+        in flight (e.g. a cache ``put`` whose request has not yet counted as
+        ``completed``), and ``queue_depth`` is an instantaneous
+        :meth:`queue.Queue.qsize` reading that admissions concurrent with
+        the snapshot may already have moved.
+        """
         with self._stats_lock:
             stats = self.stats
             snapshot = {
@@ -632,19 +670,24 @@ class DecodeService:
                 "batch_sizes": dict(stats.batch_sizes),
                 "queue_delay_p99_us": stats.queue_delay.percentile(99) * 1e6,
                 "latency_p99_us": stats.latency.percentile(99) * 1e6,
+                # Instantaneous admission-queue depth (jobs admitted but not
+                # yet drained by the dispatcher; includes stream operations).
+                "queue_depth": self._queue.qsize(),
             }
-        # The cache takes its own lock: workers mutate the hit/miss/eviction
-        # counters concurrently with this read, and an unlocked read could
-        # observe a torn combination.
-        snapshot["sessions"] = self._sessions.stats_snapshot()
-        snapshot["outcome_cache"] = (
-            self.outcome_cache.stats_snapshot()
-            if self.outcome_cache is not None
-            else {"enabled": False}
-        )
-        snapshot["faults"] = (
-            self._injector.stats_snapshot() if self._injector is not None else None
-        )
+            # Each component takes its own lock (workers mutate their
+            # hit/miss/eviction counters concurrently, and an unlocked read
+            # could observe a torn combination).  Nesting those reads inside
+            # the stats lock is deadlock-free — no code path acquires the
+            # stats lock while holding a component lock.
+            snapshot["sessions"] = self._sessions.stats_snapshot()
+            snapshot["outcome_cache"] = (
+                self.outcome_cache.stats_snapshot()
+                if self.outcome_cache is not None
+                else {"enabled": False}
+            )
+            snapshot["faults"] = (
+                self._injector.stats_snapshot() if self._injector is not None else None
+            )
         return snapshot
 
 

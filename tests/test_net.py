@@ -1,0 +1,348 @@
+"""Network serving: routing, shared memory, digest identity, drain, faults.
+
+The contract under test is the one ``docs/service.md`` states: the network
+tier is a *pure transport*.  Any worker/process count serves bit-identical
+outcomes (equal ``healthy_digest``), a dead worker yields isolated errors —
+never a hang — and SIGTERM drains in-flight work before exit.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.evaluation.service_load import ServiceLoadEngine
+from repro.service import CodeSpec, Scenario, ServiceConfig, TraceSpec
+from repro.service.net import (
+    HashRing,
+    NetClient,
+    NetServer,
+    SharedGraphPack,
+    SyndromeSlab,
+    replay_network,
+)
+from repro.service.net.bench import prewarm_specs, scaling_bench
+from repro.service.trace import generate_trace
+
+#: Small two-scenario trace: fast to replay, still exercises mixed routing.
+NET_TRACE = TraceSpec(
+    "net-test",
+    (
+        Scenario(3, physical_error_rate=0.02, decoder="micro-blossom"),
+        Scenario(3, physical_error_rate=0.03, decoder="union-find"),
+    ),
+    requests=32,
+    seed=11,
+)
+
+NET_CONFIG = ServiceConfig(max_batch_size=8, max_wait_seconds=0.001)
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        hashes = [f"{value:016x}" for value in range(0, 2**64, 2**58)]
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 2, 1, 0])  # insertion order must not matter
+        assert [a.route(h) for h in hashes] == [b.route(h) for h in hashes]
+
+    def test_remove_only_moves_dead_workers_keys(self):
+        ring = HashRing([0, 1, 2, 3])
+        hashes = [f"{value:016x}" for value in range(0, 2**64, 2**56)]
+        before = {h: ring.route(h) for h in hashes}
+        ring.remove(2)
+        for h, owner in before.items():
+            if owner == 2:
+                assert ring.route(h) != 2
+            else:
+                assert ring.route(h) == owner
+
+    def test_empty_ring_raises_lookup_error(self):
+        ring = HashRing([0])
+        ring.remove(0)
+        with pytest.raises(LookupError):
+            ring.route("0" * 16)
+
+    def test_distribution_covers_all_workers(self):
+        ring = HashRing([0, 1, 2, 3])
+        assignment = ring.assignment(f"{value:016x}" for value in range(0, 2**64, 2**54))
+        assert all(assignment[worker] for worker in (0, 1, 2, 3))
+
+
+class TestSharedMemory:
+    def test_graph_pack_roundtrip(self):
+        spec = CodeSpec(3, physical_error_rate=0.02)
+        graph = spec.build_graph()
+        pack = SharedGraphPack.create({spec.key(): graph})
+        try:
+            attached = SharedGraphPack.attach(pack.name)
+            rebuilt = attached.graph(spec.key())
+            assert rebuilt.vertices == graph.vertices
+            assert rebuilt.edges == graph.edges
+            assert rebuilt.metadata == graph.metadata
+            assert attached.keys() == [spec.key()]
+            attached.close()
+        finally:
+            pack.close()
+
+    def test_syndrome_slab_roundtrip_and_exhaustion(self):
+        slab = SyndromeSlab.create(slots=2, slot_capacity=4)
+        try:
+            a = slab.write([1, 2, 3])
+            b = slab.write([])
+            assert slab.read(a, 3) == (1, 2, 3)
+            assert slab.read(b, 0) == ()
+            assert slab.write([7]) is None  # exhausted -> inline fallback
+            slab.free(a)
+            c = slab.write([9, 9])
+            assert slab.read(c, 2) == (9, 9)
+            assert slab.write(list(range(5))) is None  # over slot capacity
+            with pytest.raises(ValueError):
+                slab.read(99, 1)
+        finally:
+            slab.close()
+
+
+class TestDigestIdentity:
+    def test_digest_identical_across_process_counts(self):
+        inproc = ServiceLoadEngine(NET_TRACE, config=NET_CONFIG).run()
+        entry, results = scaling_bench(
+            NET_TRACE, process_counts=(1, 2, 4), config=NET_CONFIG
+        )
+        assert entry["digest_match"] is True
+        for count, result in results.items():
+            assert result.healthy_digest == inproc.healthy_digest, count
+            assert result.completed == inproc.completed
+            assert result.error_responses == 0
+        efficiencies = [row["efficiency"] for row in entry["series"]]
+        assert entry["series"][0]["efficiency"] == pytest.approx(1.0)
+        assert all(e > 0 for e in efficiencies)
+        assert entry["cpu_count"] >= 1
+
+    def test_handshake_reports_config_hash_and_workers(self):
+        server = NetServer(
+            NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE)
+        )
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                assert client.server_workers == 2
+                assert client.server_config_hash == NET_CONFIG.config_hash()
+        finally:
+            server.stop()
+
+    def test_stream_over_network_matches_direct(self):
+        from repro.stream import get_streaming_decoder
+
+        from repro.graphs import SyndromeSampler
+
+        trace = generate_trace(NET_TRACE)
+        key = NET_TRACE.scenarios[0].session_key()
+        graph = trace.graphs[0]
+        _, rounds = SyndromeSampler(graph, seed=5).sample_rounds()
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                stream = client.open_stream(key)
+                wire = stream.decode_rounds(rounds)
+        finally:
+            server.stop()
+        direct = get_streaming_decoder(key.decoder, graph, key.config)
+        direct.begin(graph)
+        for defects in rounds:
+            direct.push_round(defects)
+        outcome = direct.finalize()
+        from repro.api.outcome import DecodeOutcome
+
+        rebuilt = DecodeOutcome.from_dict(wire["outcome"])
+        assert rebuilt.correction_edges(graph) == outcome.correction_edges(graph)
+        assert rebuilt.weight == outcome.weight
+
+
+class TestWorkerDeath:
+    def test_killed_worker_errors_are_isolated(self):
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            ring = HashRing([0, 1])
+            victim = 0
+            with NetClient(host, port) as client:
+                baseline = client.decode_many(
+                    [traced.request for traced in trace.requests]
+                )
+                assert all(response.ok for response in baseline)
+                os.kill(server._workers[victim].process.pid, signal.SIGKILL)
+                server._workers[victim].process.join(5.0)
+                deadline = time.monotonic() + 5.0
+                while server._workers[victim].alive and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                responses = client.decode_many(
+                    [traced.request for traced in trace.requests], timeout=30.0
+                )
+                for traced, before, after in zip(
+                    trace.requests, baseline, responses
+                ):
+                    routed = ring.route(traced.request.session.key_hash())
+                    if routed == victim:
+                        # a key of the dead arc either re-routed cleanly or
+                        # errored in isolation -- but never hangs (the
+                        # decode_many timeout above is the hang gate)
+                        assert after.status in ("ok", "error")
+                    else:
+                        assert after.ok
+                        graph = trace.graphs[traced.scenario_index]
+                        assert after.outcome.correction_edges(graph) == (
+                            before.outcome.correction_edges(graph)
+                        )
+                # once the death has been routed around, everything succeeds
+                final = client.decode_many(
+                    [traced.request for traced in trace.requests], timeout=30.0
+                )
+                assert all(response.ok for response in final)
+        finally:
+            server.stop()
+
+    def test_kill_mid_burst_never_hangs(self):
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                futures = [
+                    client.submit(traced.request)
+                    for traced in trace.requests * 4
+                ]
+                os.kill(server._workers[1].process.pid, signal.SIGKILL)
+                statuses = {future.result(timeout=30.0).status for future in futures}
+                assert statuses <= {"ok", "error"}
+        finally:
+            server.stop()
+
+
+class TestDrainAndReconnect:
+    def test_stop_drains_inflight(self):
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        client = NetClient(host, port)
+        try:
+            futures = [client.submit(traced.request) for traced in trace.requests]
+            server.stop()
+            responses = [future.result(timeout=30.0) for future in futures]
+            assert all(response.ok for response in responses)
+        finally:
+            client.close()
+
+    def test_reconnect_after_restart_resumes_session(self):
+        trace = generate_trace(NET_TRACE)
+        request = trace.requests[0].request
+        graph = trace.graphs[trace.requests[0].scenario_index]
+
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                before = client.decode(request, timeout=30.0)
+        finally:
+            server.stop()
+
+        restarted = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = restarted.start()
+        try:
+            with NetClient(host, port) as client:
+                after = client.decode(request, timeout=30.0)
+        finally:
+            restarted.stop()
+        assert before.ok and after.ok
+        assert after.outcome.correction_edges(graph) == before.outcome.correction_edges(
+            graph
+        )
+        assert after.outcome.weight == before.outcome.weight
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(p) for p in (os.path.abspath("src"),)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve-net",
+                "--serve",
+                "--processes",
+                "2",
+                "--port",
+                "0",
+                "--prewarm-distances",
+                "3",
+                "--prewarm-error-rates",
+                "0.02,0.03",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert banner.startswith("serving on "), banner
+            address = banner.split()[2]
+            host, port = address.rsplit(":", 1)
+
+            trace = generate_trace(NET_TRACE)
+            with NetClient(host, int(port), timeout=60.0) as client:
+                futures = [
+                    client.submit(traced.request) for traced in trace.requests
+                ]
+                process.send_signal(signal.SIGTERM)
+                # SIGTERM drains: every in-flight request still resolves.
+                responses = [future.result(timeout=30.0) for future in futures]
+            assert all(response.ok for response in responses)
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+
+
+class TestNetworkReplay:
+    def test_replay_against_running_server(self):
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        server.start()
+        try:
+            result = replay_network(NET_TRACE, server=server)
+        finally:
+            server.stop()
+        inproc = ServiceLoadEngine(NET_TRACE, config=NET_CONFIG).run()
+        assert result.healthy_digest == inproc.healthy_digest
+        assert result.completed == inproc.completed
+
+
+class TestSaturation:
+    def test_saturate_finds_knee_and_keeps_digest(self):
+        engine = ServiceLoadEngine(NET_TRACE, config=NET_CONFIG)
+        saturation = engine.saturate(client_ladder=(1, 2, 4))
+        assert [point.clients for point in saturation.points] == [1, 2, 4]
+        assert saturation.knee_clients in (1, 2, 4)
+        assert saturation.digest_match is True
+        assert saturation.peak_throughput_rps > 0
+
+    def test_find_knee_marks_flat_ladder(self):
+        from repro.evaluation.service_load import SaturationPoint, find_knee
+
+        def point(clients, rps):
+            return SaturationPoint(clients, 10, 10, 1.0, rps, 1.0, 2.0, "d")
+
+        points = [point(1, 100.0), point(2, 190.0), point(4, 195.0), point(8, 196.0)]
+        assert find_knee(points, 0.10).clients == 2
+        rising = [point(1, 100.0), point(2, 200.0), point(4, 400.0)]
+        assert find_knee(rising, 0.10).clients == 4

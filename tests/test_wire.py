@@ -1,0 +1,163 @@
+"""Wire-codec round-trips and golden pins for the service request types.
+
+The network protocol's frames carry exactly what ``to_dict`` emits, hashed
+and framed as canonical JSON — so these dict forms ARE the wire format.  The
+golden pins below freeze them: any change to a pinned string is a protocol
+break that needs a :data:`repro.service.net.PROTOCOL_VERSION` bump, not a
+silent reshuffle.
+"""
+
+import pytest
+
+from repro.api.config import UnionFindConfig
+from repro.api.hashing import canonical_json
+from repro.graphs.syndrome import Syndrome
+from repro.service import CodeSpec, DecodeRequest, DecodeResponse, SessionKey
+from repro.service.net.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+)
+
+
+def _key() -> SessionKey:
+    return SessionKey(CodeSpec(3, physical_error_rate=0.02), "union-find")
+
+
+def _request() -> DecodeRequest:
+    return DecodeRequest(
+        session=_key(),
+        syndrome=Syndrome(defects=(1, 4), logical_flip=False),
+        request_id=7,
+    )
+
+
+class TestGoldenPins:
+    """Frozen canonical-JSON wire forms.  A failing pin = a wire break."""
+
+    def test_code_spec_pin(self):
+        assert canonical_json(CodeSpec(3, physical_error_rate=0.02).to_dict()) == (
+            '{"distance":3,"noise":"circuit_level","physical_error_rate":0.02,'
+            '"rounds":null}'
+        )
+
+    def test_session_key_pin(self):
+        assert canonical_json(_key().to_dict()) == (
+            '{"code":{"distance":3,"noise":"circuit_level",'
+            '"physical_error_rate":0.02,"rounds":null},'
+            '"config":{"fields":{},"type":"UnionFindConfig"},'
+            '"decoder":"union-find"}'
+        )
+
+    def test_syndrome_pin(self):
+        assert canonical_json(Syndrome(defects=(1, 4), logical_flip=False).to_dict()) == (
+            '{"defects":[1,4],"error_edges":[],"logical_flip":false}'
+        )
+
+    def test_request_pin(self):
+        assert canonical_json(_request().to_dict()) == (
+            '{"request_id":7,"session":{"code":{"distance":3,'
+            '"noise":"circuit_level","physical_error_rate":0.02,"rounds":null},'
+            '"config":{"fields":{},"type":"UnionFindConfig"},'
+            '"decoder":"union-find"},'
+            '"syndrome":{"defects":[1,4],"error_edges":[],"logical_flip":false}}'
+        )
+
+    def test_session_key_hash_pin(self):
+        # Routing depends on this hash: moving it re-routes every session.
+        assert _key().key_hash() == "09247a96af1cf97c"
+
+    def test_protocol_version_pin(self):
+        assert PROTOCOL_VERSION == 1
+
+
+class TestRoundTrips:
+    def test_code_spec(self):
+        spec = CodeSpec(5, noise="phenomenological", physical_error_rate=0.01, rounds=3)
+        assert CodeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_session_key(self):
+        key = SessionKey(
+            CodeSpec(3, physical_error_rate=0.02),
+            "union-find",
+            UnionFindConfig(),
+        )
+        rebuilt = SessionKey.from_dict(key.to_dict())
+        assert rebuilt.key() == key.key()
+        assert rebuilt.key_hash() == key.key_hash()
+
+    def test_session_key_null_config_uses_registry_default(self):
+        wire = _key().to_dict()
+        wire["config"] = None
+        assert SessionKey.from_dict(wire).key() == _key().key()
+
+    def test_syndrome(self):
+        syndrome = Syndrome(defects=(0, 3, 9), error_edges=(2,), logical_flip=True)
+        rebuilt = Syndrome.from_dict(syndrome.to_dict())
+        assert rebuilt.defects == syndrome.defects
+        assert rebuilt.error_edges == syndrome.error_edges
+        assert rebuilt.logical_flip is True
+
+    def test_request(self):
+        request = _request()
+        rebuilt = DecodeRequest.from_dict(request.to_dict())
+        assert rebuilt.session.key() == request.session.key()
+        assert rebuilt.syndrome.defects == request.syndrome.defects
+        assert rebuilt.request_id == 7
+
+    def test_response_roundtrip_carries_outcome(self):
+        from repro.api.registry import get_decoder
+
+        request = _request()
+        graph = request.session.code.build_graph()
+        outcome = get_decoder("union-find", graph).decode_detailed(request.syndrome)
+        response = DecodeResponse(
+            request=request,
+            status="ok",
+            outcome=outcome,
+            queue_delay_seconds=0.25,
+            latency_seconds=0.5,
+            batch_size=3,
+            cached=True,
+        )
+        rebuilt = DecodeResponse.from_dict(response.to_dict())
+        assert rebuilt.status == "ok"
+        assert rebuilt.cached is True
+        assert rebuilt.batch_size == 3
+        assert rebuilt.queue_delay_seconds == 0.25
+        assert rebuilt.outcome.correction_edges(graph) == outcome.correction_edges(graph)
+        assert rebuilt.outcome.weight == outcome.weight
+        assert rebuilt.request.session.key() == request.session.key()
+
+    def test_error_response_roundtrip(self):
+        response = DecodeResponse(
+            request=_request(), status="error", error="PoisonedSyndromeError: boom"
+        )
+        rebuilt = DecodeResponse.from_dict(response.to_dict())
+        assert rebuilt.status == "error"
+        assert rebuilt.outcome is None
+        assert rebuilt.error == "PoisonedSyndromeError: boom"
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        frame = {"kind": "request", "id": 3, "request": _request().to_dict()}
+        encoded = encode_frame(frame)
+        length = int.from_bytes(encoded[:4], "big")
+        assert length == len(encoded) - 4
+        assert decode_payload(encoded[4:]) == frame
+
+    def test_frame_bytes_are_canonical(self):
+        # Key order must not leak into the bytes: same content, same frame.
+        a = encode_frame({"kind": "bye", "id": 1})
+        b = encode_frame({"id": 1, "kind": "bye"})
+        assert a == b
+
+    def test_frame_must_be_object_with_kind(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1,2,3]")
+        with pytest.raises(ProtocolError):
+            decode_payload(b'{"id":1}')
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")

@@ -63,6 +63,7 @@ DOCTEST_MODULES = (
     "repro.sweeps.store",
     "repro.sweeps.runner",
     "repro.sweeps.bench",
+    "repro.service.config",
     "repro.service.request",
     "repro.service.cache",
     "repro.service.batcher",
