@@ -46,6 +46,11 @@ class NetClient:
     """
 
     def __init__(self, host: str, port: int, *, timeout: float | None = 30.0) -> None:
+        # ``timeout`` bounds connect + handshake only.  The steady-state
+        # socket is unbounded: the reader thread must tolerate arbitrarily
+        # long idle gaps (socket.timeout is an OSError, so a per-read
+        # timeout would tear the connection down under an idle pipeline);
+        # per-request deadlines belong to decode(timeout=...).
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
         self._write_lock = threading.Lock()
@@ -54,6 +59,7 @@ class NetClient:
         self._next_id = 0
         self._closed = False
         self._draining = False
+        self._broken: Exception | None = None
         write_frame_sync(
             self._sock,
             {"kind": "hello", "version": PROTOCOL_VERSION, "client": "repro-net-client"},
@@ -67,6 +73,7 @@ class NetClient:
         #: Worker count and config hash the server reported at the handshake.
         self.server_workers: int = welcome.get("workers", 0)
         self.server_config_hash: str | None = welcome.get("config_hash")
+        self._sock.settimeout(None)
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-net-client-reader", daemon=True
         )
@@ -146,6 +153,7 @@ class NetClient:
 
     def _fail_all(self, exc: Exception) -> None:
         with self._pending_lock:
+            self._broken = exc
             pending = list(self._pending.values())
             self._pending.clear()
         for _, future, _ in pending:
@@ -163,6 +171,10 @@ class NetClient:
     def _send(self, kind: str, future_kind: str, request, extra: dict) -> Future:
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._broken is not None:
+            # The connection already died: a registered future would never
+            # resolve (the reader thread is gone), so fail fast instead.
+            raise ConnectionError(f"connection lost: {self._broken}") from self._broken
         if self._draining:
             # The server announced a drain: already-pipelined work will still
             # be answered, but new work must go elsewhere.

@@ -248,16 +248,30 @@ class NetServer:
         done.wait(self.drain_timeout_seconds)
         # From here on the workers are going away: late frames (a client
         # submitting past the drain notice and the in-flight wait) must be
-        # refused rather than forwarded into drained workers.
-        self._loop.call_soon_threadsafe(setattr, self, "_refusing", True)
-        # Ask every live worker to drain; they answer ("drained",).
-        for worker in self._workers.values():
-            if not worker.alive:
-                continue
+        # refused rather than forwarded into drained workers.  The flag flip
+        # AND the drain commands both run on the loop thread: a
+        # multiprocessing Connection is not thread-safe, and the loop thread
+        # may still be forwarding request frames on these same pipes —
+        # routing the drain through the loop serialises the sends and also
+        # guarantees no request frame follows the drain command onto a pipe.
+        drain_sent = threading.Event()
+
+        def refuse_and_drain_workers() -> None:
+            self._refusing = True
             try:
-                worker.conn.send(("drain",))
-            except (BrokenPipeError, OSError):
-                worker.alive = False
+                # Ask every live worker to drain; they answer ("drained",).
+                for worker in list(self._workers.values()):
+                    if not worker.alive:
+                        continue
+                    try:
+                        worker.conn.send(("drain",))
+                    except (BrokenPipeError, OSError):
+                        self._on_worker_death(worker)
+            finally:
+                drain_sent.set()
+
+        self._loop.call_soon_threadsafe(refuse_and_drain_workers)
+        drain_sent.wait(max(0.0, deadline - time.monotonic()))
         for worker in self._workers.values():
             if worker.alive:
                 worker.drained.wait(max(0.0, deadline - time.monotonic()))
@@ -286,32 +300,42 @@ class NetServer:
         (:class:`~repro.service.net.client.NetClient`) refuses *new* work
         locally once notified, and ``drain_timeout_seconds`` bounds the rest.
         """
-        self._draining = True
-        self._server.close()
-        await self._server.wait_closed()
-        for client in self._clients.values():
-            if client.open:
-                try:
-                    write_frame(client.writer, {"kind": "drain", "reason": "server stopping"})
-                    await client.writer.drain()
-                except (ConnectionError, OSError):
-                    client.open = False
-        deadline = self._loop.time() + self.drain_timeout_seconds
-        while self._loop.time() < deadline:
-            if self._pending:
-                self._idle.clear()
-                try:
-                    await asyncio.wait_for(
-                        self._idle.wait(), deadline - self._loop.time()
-                    )
-                except asyncio.TimeoutError:  # pragma: no cover - wedged worker
+        try:
+            self._draining = True
+            self._server.close()
+            await self._server.wait_closed()
+            # Snapshot: _handle_client's finally block deletes entries from
+            # _clients whenever a connection drops, and the awaits below
+            # yield to exactly those tasks — iterating the live dict would
+            # die with "dictionary changed size during iteration".
+            for client in list(self._clients.values()):
+                if client.open:
+                    try:
+                        write_frame(
+                            client.writer, {"kind": "drain", "reason": "server stopping"}
+                        )
+                        await client.writer.drain()
+                    except (ConnectionError, OSError):
+                        client.open = False
+            deadline = self._loop.time() + self.drain_timeout_seconds
+            while self._loop.time() < deadline:
+                if self._pending:
+                    self._idle.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._idle.wait(), deadline - self._loop.time()
+                        )
+                    except asyncio.TimeoutError:  # pragma: no cover - wedged worker
+                        break
+                # One settle tick: frames already inside connection buffers get
+                # parsed and registered before we conclude the drain is complete.
+                await asyncio.sleep(0.05)
+                if not self._pending:
                     break
-            # One settle tick: frames already inside connection buffers get
-            # parsed and registered before we conclude the drain is complete.
-            await asyncio.sleep(0.05)
-            if not self._pending:
-                break
-        done.set()
+        finally:
+            # stop() blocks on this event; an exception anywhere above must
+            # not turn into a full drain_timeout_seconds stall.
+            done.set()
 
     def run_forever(self) -> None:
         """Standalone serving: start, then drain on SIGTERM/SIGINT and exit."""
@@ -492,10 +516,25 @@ class NetServer:
         finally:
             client.open = False
             del self._clients[client_id]
+            self._close_client_streams(client_id)
             try:
                 writer.close()
             except OSError:  # pragma: no cover
                 pass
+
+    def _close_client_streams(self, client_id: int) -> None:
+        """Drop a disconnected client's stream state, here and in workers.
+
+        Without this, every client that drops mid-stream would leak its
+        ``_streams`` entries and the worker-side ``ServiceStream`` objects
+        for the server's lifetime.
+        """
+        orphaned = [key for key in self._streams if key[0] == client_id]
+        for key in orphaned:
+            worker_id = self._streams.pop(key)
+            worker = self._workers.get(worker_id)
+            if worker is not None and worker.alive:
+                self._send_to_worker(worker, ("stream-close", f"{key[0]}:{key[1]}"))
 
     def _refuse(self, client: _Client, frame_id, reason: str) -> None:
         write_frame(client.writer, {"kind": "error", "id": frame_id, "error": reason})
@@ -524,6 +563,14 @@ class NetServer:
         wire = frame.get("request")
         try:
             key_hash = SessionKey.from_dict(wire["session"]).key_hash()
+            # DecodeRequest.from_dict requires a syndrome object; refusing a
+            # null/absent one here keeps the worker pipe for decodable work.
+            syndrome_wire = wire["syndrome"]
+            if not isinstance(syndrome_wire, dict):
+                raise TypeError(
+                    f"syndrome must be an object, got {type(syndrome_wire).__name__}"
+                )
+            defects = syndrome_wire.get("defects") or []
         except Exception as exc:
             self._refuse(client, frame_id, f"bad request: {type(exc).__name__}: {exc}")
             return
@@ -532,11 +579,16 @@ class NetServer:
             self._answer_no_worker(client, frame_id, wire)
             return
         # Zero-copy defect handoff: defects ride the shared slab, the pipe
-        # carries (slot, count) and a defect-less wire form.
-        defects = wire.get("syndrome", {}).get("defects", [])
-        slot = self._slab.write(defects) if defects else None
+        # carries (slot, count) and a defect-less wire form.  Non-integer
+        # defects make the pack raise — that is a bad request, not a reason
+        # to kill the connection (the slab keeps its slot either way).
+        try:
+            slot = self._slab.write(defects) if defects else None
+        except Exception as exc:
+            self._refuse(client, frame_id, f"bad request: {type(exc).__name__}: {exc}")
+            return
         if slot is not None:
-            wire = {**wire, "syndrome": {**wire["syndrome"], "defects": []}}
+            wire = {**wire, "syndrome": {**syndrome_wire, "defects": []}}
             count = len(defects)
         else:
             count = 0

@@ -247,9 +247,15 @@ class SyndromeSlab:
                 return None
             slot = self._free.pop()
         if values:
-            struct.pack_into(
-                f"<{len(values)}q", self._shm.buf, slot * self.slot_capacity * 8, *values
-            )
+            try:
+                struct.pack_into(
+                    f"<{len(values)}q", self._shm.buf, slot * self.slot_capacity * 8, *values
+                )
+            except (struct.error, TypeError):
+                # Unpackable defects (non-integers) are the caller's problem;
+                # the slot must not leak with them.
+                self.free(slot)
+                raise
         return slot
 
     def free(self, slot: int) -> None:

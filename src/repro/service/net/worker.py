@@ -12,6 +12,7 @@ server → worker                                  worker → server
 ``("request", seq, wire, slot, count)``          ``("response", seq, payload)``
 ``("stream-open", seq, sid, session, w, c)``     ``("stream-reply", seq, result)``
 ``("stream-op", seq, sid, op, payload)``         ``("stream-reply", seq, result)``
+``("stream-close", sid)``                        *(no reply)*
 ``("ping", seq)``                                ``("pong", seq)``
 ``("drain",)``                                   ``("drained",)``
 ==============================================  ============================
@@ -220,6 +221,11 @@ def worker_main(
                 send(("stream-reply", seq, {"error": f"{type(exc).__name__}: {exc}"}))
                 continue
             future.add_done_callback(on_stream_reply(seq))
+        elif command == "stream-close":
+            # The front end lost the stream's client: drop the abandoned
+            # ServiceStream so a long-running worker does not accumulate one
+            # per disconnected client.  No reply — nobody is waiting.
+            streams.pop(message[1], None)
         elif command == "ping":
             send(("pong", message[1]))
         elif command == "drain":

@@ -8,6 +8,7 @@ never a hang — and SIGTERM drains in-flight work before exit.
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -23,6 +24,11 @@ from repro.service.net import (
     SharedGraphPack,
     SyndromeSlab,
     replay_network,
+)
+from repro.service.net.protocol import (
+    PROTOCOL_VERSION,
+    read_frame_sync,
+    write_frame_sync,
 )
 from repro.service.net.bench import prewarm_specs, scaling_bench
 from repro.service.trace import generate_trace
@@ -325,6 +331,129 @@ class TestNetworkReplay:
         inproc = ServiceLoadEngine(NET_TRACE, config=NET_CONFIG).run()
         assert result.healthy_digest == inproc.healthy_digest
         assert result.completed == inproc.completed
+
+
+class TestConnectionRobustness:
+    def test_client_survives_idle_gap_longer_than_handshake_timeout(self):
+        """The handshake timeout must not tear down an idle steady-state
+        connection: the reader thread blocks without a deadline, so a pause
+        with no inbound frames is not a connection failure."""
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(NET_CONFIG, processes=1, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port, timeout=0.3) as client:
+                time.sleep(0.9)  # idle for 3x the handshake timeout
+                response = client.decode(trace.requests[0].request, timeout=30.0)
+                assert response.ok
+        finally:
+            server.stop()
+
+    def test_submit_after_connection_loss_raises_instead_of_hanging(self):
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(NET_CONFIG, processes=1, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        client = NetClient(host, port)
+        try:
+            assert client.decode(trace.requests[0].request, timeout=30.0).ok
+            server.stop()
+            deadline = time.monotonic() + 10.0
+            while client._broken is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert client._broken is not None
+            # A future registered after the reader died would never resolve;
+            # the client must fail fast instead.
+            with pytest.raises(ConnectionError):
+                client.submit(trace.requests[0].request)
+        finally:
+            client.close()
+
+    def test_malformed_requests_refused_without_killing_connection_or_slab(self):
+        """A null syndrome or non-integer defects is a per-frame refusal:
+        the connection stays up and every slab slot goes back to the free
+        list (a leak here would exhaust the slab for the server's life)."""
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(
+            NET_CONFIG, processes=1, prewarm=prewarm_specs(NET_TRACE), slab_slots=4
+        )
+        host, port = server.start()
+        try:
+            free_before = len(server._slab._free)
+            session_wire = trace.requests[0].request.session.to_dict()
+            sock = socket.create_connection((host, port), timeout=30.0)
+            try:
+                write_frame_sync(
+                    sock,
+                    {"kind": "hello", "version": PROTOCOL_VERSION, "client": "hostile"},
+                )
+                assert read_frame_sync(sock)["kind"] == "welcome"
+                write_frame_sync(
+                    sock,
+                    {
+                        "kind": "request",
+                        "id": 1,
+                        "request": {"session": session_wire, "syndrome": None},
+                    },
+                )
+                # More bad-defect frames than the slab has slots: each must
+                # hand its slot back or the last ones would falsely exhaust.
+                bad = 8
+                for offset in range(bad):
+                    write_frame_sync(
+                        sock,
+                        {
+                            "kind": "request",
+                            "id": 2 + offset,
+                            "request": {
+                                "session": session_wire,
+                                "syndrome": {"defects": ["bogus"]},
+                            },
+                        },
+                    )
+                for _ in range(1 + bad):
+                    frame = read_frame_sync(sock)
+                    assert frame["kind"] == "error"
+                    assert "bad request" in frame["error"]
+                assert len(server._slab._free) == free_before
+                # The connection is still perfectly serviceable.
+                write_frame_sync(
+                    sock,
+                    {
+                        "kind": "request",
+                        "id": 99,
+                        "request": trace.requests[0].request.to_dict(),
+                    },
+                )
+                frame = read_frame_sync(sock)
+                assert frame["kind"] == "response"
+                assert frame["response"]["status"] == "ok"
+                write_frame_sync(sock, {"kind": "bye"})
+            finally:
+                sock.close()
+            deadline = time.monotonic() + 5.0
+            while len(server._slab._free) != free_before and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(server._slab._free) == free_before
+        finally:
+            server.stop()
+
+    def test_client_disconnect_mid_stream_cleans_up_server_state(self):
+        key = NET_TRACE.scenarios[0].session_key()
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            client = NetClient(host, port)
+            stream = client.open_stream(key, timeout=30.0)
+            stream.begin().result(30.0)
+            stream.push_round([]).result(30.0)
+            assert server._streams
+            client.close()  # no finalize: the stream is abandoned mid-flight
+            deadline = time.monotonic() + 10.0
+            while server._streams and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not server._streams
+        finally:
+            server.stop()
 
 
 class TestSaturation:
