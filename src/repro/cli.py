@@ -68,6 +68,7 @@ from .service import (
     make_trace,
     saturation_entry,
     service_bench_document,
+    wire_entry,
     write_service_bench,
 )
 from .sweeps import (
@@ -432,8 +433,10 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI smoke: replay the pinned trace over loopback at each "
         "--processes count, gate healthy_digest identity against in-process "
-        "serving, sweep the closed-loop saturation ladder, and emit a "
-        "schema-v4 BENCH document with the saturation block",
+        "serving, sweep the closed-loop saturation ladder, compare the "
+        "binary-v2 wire against per-request JSON-v1 framing (gating >= 1.5x "
+        "throughput and digest identity), and emit a schema-v5 BENCH "
+        "document with the saturation and wire blocks",
     )
     serve_net.add_argument(
         "--config",
@@ -809,6 +812,12 @@ _DEFAULT_COMPARE_CACHE_BYTES = 4 << 20
 _SERVE_DRAIN_TIMEOUT_SECONDS = 60.0
 
 
+#: Minimum end-to-end throughput ratio of the binary-batched v2 wire over
+#: per-request JSON-v1 framing the serve-net smoke accepts (acceptance gate
+#: of the codec: the bytes saved must show up as wall-clock time).
+_WIRE_SPEEDUP_FLOOR = 1.5
+
+
 def _serve_config(
     args: argparse.Namespace,
     outcome_cache_bytes: int | None,
@@ -1008,7 +1017,7 @@ def _command_serve_net(args: argparse.Namespace) -> int:
     # Local import: the net tier (asyncio, multiprocessing.shared_memory)
     # should not tax every other CLI command's startup.
     from .service.net import NetServer
-    from .service.net.bench import NET_CONFIG_DEFAULTS, scaling_bench
+    from .service.net.bench import NET_CONFIG_DEFAULTS, scaling_bench, wire_comparison
 
     config = (
         ServiceConfig.from_file(args.config)
@@ -1067,12 +1076,27 @@ def _command_serve_net(args: argparse.Namespace) -> int:
         f"scaling measured on {scaling['cpu_count']} CPU core(s); "
         f"efficiency is relative to {counts[0]} process(es)"
     )
+    comparison = wire_comparison(trace, processes=counts[-1], config=config)
+    for side in ("v2", "v1"):
+        stats = comparison[side]
+        print(
+            f"wire {side} (codec {stats['codec']}): "
+            f"{stats['throughput_rps']:.0f} req/s, "
+            f"{stats['bytes_sent']} B out / {stats['bytes_received']} B in "
+            f"over {stats['frames_sent']}+{stats['frames_received']} frames"
+        )
+    print(
+        f"wire v2 speedup over v1: {comparison['speedup']:.2f}x "
+        f"(floor {_WIRE_SPEEDUP_FLOOR}x), digest "
+        f"{'==' if comparison['digest_match'] else '!='} across codecs"
+    )
     try:
         path = write_service_bench(
             service_bench_document(
                 trace,
                 inproc,
                 saturation=saturation_entry(saturation, scaling=scaling),
+                wire=wire_entry(net_results[counts[-1]].wire, comparison),
             ),
             args.output,
         )
@@ -1104,6 +1128,16 @@ def _command_serve_net(args: argparse.Namespace) -> int:
             f"network replay produced {error_responses} error response(s)",
             file=sys.stderr,
         )
+        failed = True
+    if comparison["speedup"] < _WIRE_SPEEDUP_FLOOR:
+        print(
+            f"binary wire speedup {comparison['speedup']:.2f}x below the "
+            f"{_WIRE_SPEEDUP_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        failed = True
+    if not comparison["digest_match"]:
+        print("v2 and v1 wire replays disagree on healthy_digest", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

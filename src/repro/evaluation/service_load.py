@@ -95,6 +95,10 @@ class ServiceLoadResult:
     #: diverged from a directly-driven streaming decoder (or never resolved).
     streams: int = 0
     stream_mismatches: int = 0
+    #: Wire-level statistics of a network replay (``NetClient.wire_stats()``:
+    #: negotiated codec, byte/frame counts, coalesced-batch histogram);
+    #: ``None`` for in-process replays, which have no wire.
+    wire: dict | None = None
 
     @property
     def throughput_rps(self) -> float:

@@ -68,6 +68,7 @@ from .bench import (
     saturation_entry,
     service_bench_document,
     validate_service_bench,
+    wire_entry,
     write_service_bench,
 )
 from .cache import SessionCache, SessionCacheStats, SessionEntry, build_session
@@ -124,6 +125,7 @@ __all__ = [
     "saturation_entry",
     "service_bench_document",
     "validate_service_bench",
+    "wire_entry",
     "write_service_bench",
     "SessionCache",
     "SessionCacheStats",

@@ -21,7 +21,12 @@ nested under ``saturation.scaling``, the network path's worker-process
 scaling series (:mod:`repro.service.net.bench`) — throughput and efficiency
 per process count with the host's CPU count attached, plus the
 ``digest_match`` verdicts that pin "load and process count shape timing,
-never outcomes".  Consecutive
+never outcomes".  Schema v5 adds the (nullable) ``wire`` block: the network
+replay's wire statistics (negotiated codec, byte/frame counts both
+directions, the coalesced-batch-size histogram) and the (nullable)
+``wire.comparison`` — the same trace replayed over the binary-batched v2
+wire and the per-request JSON v1 wire against one server, with the
+end-to-end ``speedup`` and the cross-codec ``digest_match``.  Consecutive
 artifacts form the service trajectory, the
 front-end counterpart of ``BENCH_sweep.json`` (:mod:`repro.sweeps.bench`):
 a scheduling or batching regression shows up as a latency/throughput shift
@@ -53,7 +58,11 @@ from ..evaluation.engine import LatencyHistogram
 #: v4: the (nullable) ``saturation`` block — closed-loop offered-load ladder
 #: with knee detection, and the nested (nullable) ``saturation.scaling``
 #: series of the network path's per-process throughput and efficiency.
-SERVICE_BENCH_SCHEMA_VERSION = 4
+#: v5: the (nullable) ``wire`` block — network wire statistics (negotiated
+#: codec, bytes/frames each direction, coalesced-batch histogram) and the
+#: (nullable) ``wire.comparison`` of the binary-batched v2 wire against the
+#: per-request JSON v1 wire (throughput speedup + cross-codec digest match).
+SERVICE_BENCH_SCHEMA_VERSION = 5
 
 
 class ServiceBenchSchemaError(ValueError):
@@ -173,6 +182,17 @@ def saturation_entry(saturation, scaling: dict | None = None) -> dict:
     }
 
 
+def wire_entry(stats: dict | None = None, comparison: dict | None = None) -> dict:
+    """The ``wire`` block: network wire statistics plus the codec comparison.
+
+    ``stats`` is :meth:`repro.service.net.client.NetClient.wire_stats` from a
+    network replay (``None`` when the primary run was in-process);
+    ``comparison`` is :func:`repro.service.net.bench.wire_comparison`'s
+    v2-vs-v1 block (``None`` when not run).
+    """
+    return {"stats": stats, "comparison": comparison}
+
+
 def service_bench_document(
     trace,
     result,
@@ -183,6 +203,7 @@ def service_bench_document(
     fault_plan=None,
     hostile_mix: list | None = None,
     saturation: dict | None = None,
+    wire: dict | None = None,
 ) -> dict:
     """Build the BENCH_service document for one load-engine run.
 
@@ -193,9 +214,10 @@ def service_bench_document(
     ``cache_comparison`` is an optional :func:`cache_comparison_entry` block,
     ``fault_plan`` the :class:`~repro.service.faults.FaultPlan` the primary
     run injected, ``hostile_mix`` an optional list of
-    :func:`hostile_mix_entry` blocks, and ``saturation`` an optional
-    :func:`saturation_entry` block — all ``None`` when not run (the keys
-    are always present).
+    :func:`hostile_mix_entry` blocks, ``saturation`` an optional
+    :func:`saturation_entry` block, and ``wire`` an optional
+    :func:`wire_entry` block — all ``None`` when not run (the keys are
+    always present).
     """
     # Lazy import: repro.sweeps pulls the evaluation experiment stack, which
     # a service-only consumer should not pay for at import time.
@@ -234,6 +256,7 @@ def service_bench_document(
         "fault_plan": None if fault_plan is None else fault_plan.to_dict(),
         "hostile_mix": hostile_mix,
         "saturation": saturation,
+        "wire": wire,
         "identity": {
             "checked": result.identity_checked,
             "mismatches": result.identity_mismatches,
@@ -292,6 +315,7 @@ _TOP_REQUIRED = (
     "fault_plan",
     "hostile_mix",
     "saturation",
+    "wire",
     "identity",
     "outcome_digest",
     "healthy_digest",
@@ -496,6 +520,61 @@ def _check_saturation(entry) -> None:
         _check_scaling(entry["scaling"])
 
 
+def _check_wire_stats(stats, path: str) -> None:
+    _require(isinstance(stats, dict), f"{path}: expected an object")
+    _require("codec" in stats, f"{path}: missing key 'codec'")
+    _require(stats["codec"] in (1, 2), f"{path}.codec must be 1 (JSON) or 2 (binary)")
+    for key in ("frames_sent", "bytes_sent", "frames_received", "bytes_received"):
+        _require(key in stats, f"{path}: missing key {key!r}")
+        _check_number(stats[key], f"{path}.{key}", low=0)
+    histogram = stats.get("batch_histogram")
+    _require(isinstance(histogram, dict), f"{path}.batch_histogram must be an object")
+    for size, count in histogram.items():
+        _require(
+            isinstance(size, str) and size.isdigit() and int(size) >= 1,
+            f"{path}.batch_histogram: key {size!r} must be a positive-integer string",
+        )
+        _check_number(count, f"{path}.batch_histogram[{size!r}]", low=1)
+
+
+def _check_wire_comparison(comparison) -> None:
+    _require(isinstance(comparison, dict), "wire.comparison must be an object or null")
+    for key in ("processes", "requests", "v2", "v1", "speedup", "digest_match"):
+        _require(key in comparison, f"wire.comparison: missing key {key!r}")
+    _check_number(comparison["processes"], "wire.comparison.processes", low=1)
+    _check_number(comparison["requests"], "wire.comparison.requests", low=1)
+    for side in ("v2", "v1"):
+        path = f"wire.comparison.{side}"
+        entry = comparison[side]
+        _check_wire_stats(entry, path)
+        for key in ("throughput_rps",):
+            _require(key in entry, f"{path}: missing key {key!r}")
+            _check_number(entry[key], f"{path}.{key}", low=0.0)
+        _require(
+            isinstance(entry.get("healthy_digest"), str) and entry["healthy_digest"],
+            f"{path}.healthy_digest must be a non-empty string",
+        )
+    _require(
+        comparison["v1"]["codec"] == 1,
+        "wire.comparison.v1 must have run on codec 1",
+    )
+    _check_number(comparison["speedup"], "wire.comparison.speedup", low=0.0)
+    _require(
+        isinstance(comparison["digest_match"], bool),
+        "wire.comparison.digest_match must be a bool",
+    )
+
+
+def _check_wire(entry) -> None:
+    _require(isinstance(entry, dict), "wire must be an object or null")
+    for key in ("stats", "comparison"):
+        _require(key in entry, f"wire: missing key {key!r}")
+    if entry["stats"] is not None:
+        _check_wire_stats(entry["stats"], "wire.stats")
+    if entry["comparison"] is not None:
+        _check_wire_comparison(entry["comparison"])
+
+
 def validate_service_bench(document: dict) -> None:
     """Validate a BENCH_service document; raises on any schema violation.
 
@@ -578,6 +657,8 @@ def validate_service_bench(document: dict) -> None:
         _check_hostile_mix(document["hostile_mix"])
     if document["saturation"] is not None:
         _check_saturation(document["saturation"])
+    if document["wire"] is not None:
+        _check_wire(document["wire"])
     identity = document["identity"]
     _require(isinstance(identity, dict), "identity must be an object")
     for key in ("checked", "mismatches"):

@@ -62,6 +62,15 @@ class ServiceConfig:
     session_build_retries: int = 0
     #: Linear backoff between session-build retries (seconds × attempt).
     session_build_backoff_seconds: float = 0.0
+    #: Highest wire codec the network tier negotiates (``2`` = binary with
+    #: per-frame JSON fallback, ``1`` = canonical JSON only).
+    wire_codec: int = 2
+    #: Client-side request coalescer: flush a pending batch at this many
+    #: buffered frame bytes...
+    coalesce_max_bytes: int = 65536
+    #: ... or once its oldest request waited this long, whichever first.
+    #: The server advertises both knobs in its ``welcome`` frame.
+    coalesce_max_delay_seconds: float = 0.0005
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -83,6 +92,12 @@ class ServiceConfig:
             raise ValueError("session_build_retries must be >= 0")
         if self.session_build_backoff_seconds < 0:
             raise ValueError("session_build_backoff_seconds must be non-negative")
+        if self.wire_codec not in (1, 2):
+            raise ValueError("wire_codec must be 1 (JSON) or 2 (binary)")
+        if self.coalesce_max_bytes < 1:
+            raise ValueError("coalesce_max_bytes must be >= 1")
+        if self.coalesce_max_delay_seconds < 0:
+            raise ValueError("coalesce_max_delay_seconds must be non-negative")
 
     def replace(self, **changes) -> "ServiceConfig":
         """Return a copy with the given fields replaced (re-validated)."""

@@ -5,30 +5,44 @@ but not across cores (the decoders are pure Python under the GIL).  This
 package puts N *processes* behind one TCP endpoint without changing a single
 decoded bit:
 
-* :mod:`~repro.service.net.protocol` — the length-prefixed canonical-JSON
-  wire protocol (version-tagged; sync and asyncio framings).
+* :mod:`~repro.service.net.protocol` — the length-prefixed wire protocol
+  (version-tagged; sync and asyncio framings) with two negotiated payload
+  codecs: canonical JSON (codec 1) and the struct-packed binary format
+  (codec 2) with batch frames and per-frame JSON fallback.
 * :mod:`~repro.service.net.server` — :class:`NetServer`, the asyncio front
   end: consistent-hash routing of session keys to worker processes,
-  graceful drain on stop/SIGTERM, isolated errors on worker death.
+  whole-batch forwarding of ``request-batch`` frames, graceful drain on
+  stop/SIGTERM, isolated errors on worker death.
 * :mod:`~repro.service.net.worker` — the worker-process entry point; each
   worker hosts an ordinary in-process service.
 * :mod:`~repro.service.net.client` — :class:`NetClient`, the synchronous
-  pipelined client mirroring the ``DecodeService`` surface.
+  pipelined client mirroring the ``DecodeService`` surface, with
+  Nagle-style request coalescing and per-worker batch packing.
 * :mod:`~repro.service.net.router` — :class:`HashRing`.
 * :mod:`~repro.service.net.shm` — shared-memory graph pack and syndrome
   slab (the zero-copy data plane).
-* :mod:`~repro.service.net.bench` — digest-identical network replay and the
-  process-scaling series of ``BENCH_service.json``.
+* :mod:`~repro.service.net.bench` — digest-identical network replay, the
+  process-scaling series, and the v2-vs-v1 wire comparison of
+  ``BENCH_service.json``.
 """
 
-from .bench import replay_network, scaling_bench
+from .bench import replay_network, scaling_bench, wire_comparison
 from .client import NetClient, NetStream, ServerDrainingError
-from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
+from .protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    negotiate_codec,
+)
 from .router import HashRing
 from .server import NetServer
 from .shm import SharedGraphPack, SyndromeSlab
 
 __all__ = [
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "HashRing",
@@ -39,6 +53,8 @@ __all__ = [
     "ServerDrainingError",
     "SharedGraphPack",
     "SyndromeSlab",
+    "negotiate_codec",
     "replay_network",
     "scaling_bench",
+    "wire_comparison",
 ]

@@ -16,6 +16,13 @@ Two measurements live here:
   (``throughput[p] / (p × throughput[1])``), whether every count produced
   the same healthy digest, and the machine's CPU count — scaling numbers
   from a 1-core container are honest only with the core count attached.
+* :func:`wire_comparison` replays the same trace twice against one server —
+  once with the negotiated binary codec and batched ``decode_many`` frames,
+  once with a client forced to the JSON-v1 per-request wire format — and
+  reports both sides' throughput and wire statistics, the end-to-end
+  speedup, and whether the two paths' healthy digests agree.  Both passes
+  run against a warm worker-side outcome cache so the comparison measures
+  the wire, not the decoders.
 """
 
 from __future__ import annotations
@@ -93,7 +100,8 @@ def replay_network(
                 responses.extend(
                     client.decode_many([traced.request for traced in trace.requests])
                 )
-        elapsed = time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            wire = client.wire_stats()
     finally:
         if own_server:
             server.stop()
@@ -118,9 +126,87 @@ def replay_network(
         batch_sizes=batch_sizes,
         error_responses=sum(1 for r in responses if r.status == "error"),
         cache_hits=sum(1 for r in responses if r.cached),
+        wire=wire,
     )
     evaluate_outcomes(trace, sequence, responses, result)
     return result
+
+
+def _wire_side(result: ServiceLoadResult) -> dict:
+    stats = dict(result.wire or {})
+    stats["throughput_rps"] = result.throughput_rps
+    stats["healthy_digest"] = result.healthy_digest
+    return stats
+
+
+def wire_comparison(
+    spec: TraceSpec,
+    *,
+    processes: int = 2,
+    config: ServiceConfig | None = None,
+    repeats: int = 2,
+) -> dict:
+    """Binary-batched (codec 2) vs per-request JSON (codec 1) wire replay.
+
+    One server serves both passes.  The worker-side outcome cache is forced
+    on and warmed with an untimed pass first, so the measured passes spend
+    their time on the wire and the front end — the thing this comparison is
+    about — instead of re-decoding; decode cost is identical on both sides
+    either way.  Returns the schema-v5 ``wire.comparison`` block::
+
+        {"processes", "requests",
+         "v2": {codec, bytes/frames, throughput_rps, healthy_digest, ...},
+         "v1": {...},
+         "speedup": v2.throughput / v1.throughput,
+         "digest_match": both passes produced one healthy digest}
+    """
+    config = _net_config(config)
+    if not config.outcome_cache_bytes:
+        config = config.replace(outcome_cache_bytes=8 << 20)
+    trace = generate_trace(spec, fault_plan=config.fault_plan)
+    requests = [traced.request for traced in trace.requests]
+    server = NetServer(config, processes=processes, prewarm=prewarm_specs(spec))
+    host, port = server.start()
+    try:
+        with NetClient(host, port) as warm:
+            warm.decode_many(requests)
+        sides: dict[str, ServiceLoadResult] = {}
+        for label, codecs in (("v2", None), ("v1", (1,))):
+            kwargs = {} if codecs is None else {"codecs": codecs}
+            responses = []
+            started = time.perf_counter()
+            with NetClient(host, port, **kwargs) as client:
+                for _ in range(repeats):
+                    responses.extend(client.decode_many(requests))
+                elapsed = time.perf_counter() - started
+                wire = client.wire_stats()
+            sequence = list(trace.requests) * repeats
+            result = ServiceLoadResult(
+                requests=len(sequence),
+                completed=sum(1 for r in responses if r.ok),
+                shed=sum(1 for r in responses if r.status == "shed"),
+                errors=0,
+                evaluated=0,
+                elapsed_seconds=elapsed,
+                queue_delay=LatencyHistogram(),
+                latency=LatencyHistogram(),
+                error_responses=sum(1 for r in responses if r.status == "error"),
+                cache_hits=sum(1 for r in responses if r.cached),
+                wire=wire,
+            )
+            evaluate_outcomes(trace, sequence, responses, result)
+            sides[label] = result
+    finally:
+        server.stop()
+    v1_rps = sides["v1"].throughput_rps
+    return {
+        "processes": processes,
+        "requests": len(requests) * repeats,
+        "v2": _wire_side(sides["v2"]),
+        "v1": _wire_side(sides["v1"]),
+        "speedup": sides["v2"].throughput_rps / v1_rps if v1_rps > 0 else 0.0,
+        "digest_match": sides["v2"].healthy_digest == sides["v1"].healthy_digest,
+    }
 
 
 def scaling_entry(process_counts, results: dict[int, ServiceLoadResult]) -> dict:

@@ -33,15 +33,18 @@ import asyncio
 import multiprocessing
 import os
 import signal
+import socket
 import threading
 import time
 
 from ..config import ServiceConfig
 from ..request import STATUS_ERROR, SessionKey
 from .protocol import (
+    CODEC_BINARY,
     PROTOCOL_VERSION,
     ProtocolError,
     check_version,
+    negotiate_codec,
     read_frame,
     write_frame,
 )
@@ -83,11 +86,12 @@ class _Pending:
 class _Client:
     """Per-connection state (owned by the loop thread)."""
 
-    __slots__ = ("writer", "open")
+    __slots__ = ("writer", "open", "codec")
 
     def __init__(self, writer):
         self.writer = writer
         self.open = True
+        self.codec = 1  # negotiated at the handshake; JSON until then
 
 
 class NetServer:
@@ -387,6 +391,17 @@ class NetServer:
             if pending.slot is not None:
                 self._slab.free(pending.slot)
             self._answer(pending, payload)
+        elif kind == "response-batch":
+            _, entries = message
+            answers = []
+            for seq, payload in entries:
+                pending = self._pending.pop(seq, None)
+                if pending is None:
+                    continue
+                if pending.slot is not None:
+                    self._slab.free(pending.slot)
+                answers.append((pending, payload))
+            self._answer_batch(answers)
         elif kind == "stream-reply":
             _, seq, result = message
             pending = self._pending.pop(seq, None)
@@ -401,17 +416,61 @@ class NetServer:
         if not client.open:
             return
         if pending.kind == "request":
-            frame = {
-                "kind": "response",
-                "id": pending.frame_id,
-                "response": {**payload, "request": pending.request_wire},
-            }
+            if client.codec >= CODEC_BINARY:
+                # Binary-speaking clients hold their request object and
+                # never need the echo back — that is most of a v1
+                # response frame's bytes.
+                body = payload
+            else:
+                body = {**payload, "request": pending.request_wire}
+            frame = {"kind": "response", "id": pending.frame_id, "response": body}
         else:
             frame = {"kind": "stream-reply", "id": pending.frame_id, "result": payload}
         try:
-            write_frame(client.writer, frame)
+            write_frame(client.writer, frame, client.codec)
         except (ConnectionError, OSError):  # pragma: no cover - racing close
             client.open = False
+
+    def _answer_batch(self, answers) -> None:
+        """Answer a worker's response batch: one frame per batching client.
+
+        Non-batching (codec-1) clients — possible only for a hostile JSON
+        ``request-batch`` — get individual response frames instead.
+        """
+        by_client: dict[int, tuple[_Client, list]] = {}
+        for pending, payload in answers:
+            client = pending.client
+            if not client.open:
+                continue
+            if pending.kind != "request" or client.codec < CODEC_BINARY:
+                self._answer(pending, payload)
+                continue
+            entry = by_client.setdefault(id(client), (client, []))
+            entry[1].append({"id": pending.frame_id, "response": payload})
+        for client, members in by_client.values():
+            chunks = [members]
+            while chunks:
+                chunk = chunks.pop(0)
+                frame = {"kind": "response-batch", "responses": chunk}
+                try:
+                    write_frame(client.writer, frame, client.codec)
+                except ProtocolError:
+                    # The combined frame exceeds MAX_FRAME_BYTES: split it.
+                    # A single response can always ride its own frame (the
+                    # worker pipe already carried it).
+                    if len(chunk) == 1:
+                        write_frame(
+                            client.writer,
+                            {"kind": "response", **chunk[0]},
+                            client.codec,
+                        )
+                        continue
+                    mid = len(chunk) // 2
+                    chunks.insert(0, chunk[mid:])
+                    chunks.insert(0, chunk[:mid])
+                except (ConnectionError, OSError):  # pragma: no cover - racing close
+                    client.open = False
+                    break
 
     def _on_worker_death(self, worker: _Worker) -> None:
         """A worker died: isolate the blast radius, re-route its keys."""
@@ -483,12 +542,20 @@ class NetServer:
         client = _Client(writer)
         self._clients[client_id] = client
         try:
+            # Explicit coalescing controls batching on this connection;
+            # Nagle's algorithm must not add its own 40 ms stalls on top.
+            raw_socket = writer.get_extra_info("socket")
+            if raw_socket is not None:
+                raw_socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             hello = await read_frame(reader)
             if hello is None:
                 return
             if hello.get("kind") != "hello":
                 raise ProtocolError(f"expected hello, got {hello.get('kind')!r}")
             check_version(hello)
+            client.codec = negotiate_codec(
+                hello.get("codecs"), limit=self.config.wire_codec
+            )
             write_frame(
                 writer,
                 {
@@ -496,6 +563,11 @@ class NetServer:
                     "version": PROTOCOL_VERSION,
                     "workers": len(self._ring),
                     "config_hash": self.config.config_hash(),
+                    "codec": client.codec,
+                    "coalesce": {
+                        "max_bytes": self.config.coalesce_max_bytes,
+                        "max_delay_seconds": self.config.coalesce_max_delay_seconds,
+                    },
                 },
             )
             await writer.drain()
@@ -543,10 +615,19 @@ class NetServer:
         kind = frame.get("kind")
         frame_id = frame.get("id")
         if self._refusing:
-            self._refuse(client, frame_id, "server is draining")
+            if kind == "request-batch":
+                # Refuse member by member: a connection-level (null-id)
+                # error would fail the client's unrelated in-flight work.
+                for member in frame.get("requests") or ():
+                    if isinstance(member, dict):
+                        self._refuse(client, member.get("id"), "server is draining")
+            else:
+                self._refuse(client, frame_id, "server is draining")
             return
         if kind == "request":
             self._handle_request(client, frame)
+        elif kind == "request-batch":
+            self._handle_request_batch(client, frame)
         elif kind == "stream-open":
             self._handle_stream_open(client_id, client, frame)
         elif kind == "stream-op":
@@ -601,6 +682,81 @@ class NetServer:
         if not self._send_to_worker(worker, ("request", seq, wire, slot, count)):
             # _on_worker_death already answered and cleaned up this pending.
             return
+
+    def _handle_request_batch(self, client: _Client, frame: dict) -> None:
+        """One ``request-batch`` frame: validate, group per worker arc, and
+        forward each group as a single pipe message over contiguous slab
+        slots.  Bad members are refused individually; the rest proceed."""
+        members = frame.get("requests")
+        if not isinstance(members, list):
+            self._refuse(client, frame.get("id"), "bad request-batch: requests must be an array")
+            return
+        # Binary batch decoding shares one session dict object per table
+        # entry, so hashing each distinct session once makes routing cost
+        # per *session*, not per member.
+        hash_memo: dict[int, str] = {}
+        groups: dict[int, list] = {}
+        for member in members:
+            if not isinstance(member, dict):
+                continue
+            member_id = member.get("id")
+            wire = member.get("request")
+            try:
+                session_wire = wire["session"]
+                key_hash = hash_memo.get(id(session_wire))
+                if key_hash is None:
+                    key_hash = SessionKey.from_dict(session_wire).key_hash()
+                    hash_memo[id(session_wire)] = key_hash
+                syndrome_wire = wire["syndrome"]
+                if not isinstance(syndrome_wire, dict):
+                    raise TypeError(
+                        f"syndrome must be an object, got {type(syndrome_wire).__name__}"
+                    )
+                defects = syndrome_wire.get("defects") or []
+            except Exception as exc:
+                self._refuse(client, member_id, f"bad request: {type(exc).__name__}: {exc}")
+                continue
+            worker = self._route(key_hash)
+            if worker is None:
+                self._answer_no_worker(client, member_id, wire)
+                continue
+            groups.setdefault(worker.worker_id, []).append(
+                (member_id, wire, syndrome_wire, defects)
+            )
+        for worker_id, entries in groups.items():
+            worker = self._workers[worker_id]
+            try:
+                slots = self._slab.write_batch([entry[3] for entry in entries])
+            except Exception:
+                # Some member's defects were unpackable; find it (and keep
+                # the rest) by falling back to per-member writes.
+                slots, kept = [], []
+                for entry in entries:
+                    try:
+                        slots.append(self._slab.write(entry[3]) if entry[3] else None)
+                        kept.append(entry)
+                    except Exception as exc:
+                        self._refuse(
+                            client, entry[0], f"bad request: {type(exc).__name__}: {exc}"
+                        )
+                entries = kept
+            pipe_entries = []
+            for (member_id, wire, syndrome_wire, defects), slot in zip(entries, slots):
+                if slot is not None:
+                    send_wire = {**wire, "syndrome": {**syndrome_wire, "defects": []}}
+                    count = len(defects)
+                else:
+                    send_wire, count = wire, 0
+                seq = self._next_seq()
+                self._pending[seq] = _Pending(
+                    "request", client, member_id, wire, slot, worker_id
+                )
+                pipe_entries.append((seq, send_wire, slot, count))
+            if pipe_entries:
+                self._idle.clear()
+                if not self._send_to_worker(worker, ("request-batch", pipe_entries)):
+                    # _on_worker_death already answered and cleaned these up.
+                    continue
 
     def _answer_no_worker(self, client: _Client, frame_id, wire: dict) -> None:
         pending = _Pending("request", client, frame_id, wire, None, -1)

@@ -29,6 +29,8 @@ import struct
 import threading
 from multiprocessing import shared_memory
 
+import numpy as np
+
 from ...graphs.decoding_graph import DecodingGraph, Edge, Vertex
 
 _HEADER_LENGTH = struct.Struct(">Q")
@@ -257,6 +259,73 @@ class SyndromeSlab:
                 self.free(slot)
                 raise
         return slot
+
+    def _take_run(self, count: int) -> int | None:
+        """Pop ``count`` consecutive slot numbers off the free list.
+
+        Caller holds ``_lock``.  Returns the run's first slot, or ``None``
+        when the free list holds no contiguous run that long (fragmented or
+        simply too few slots).
+        """
+        if count > len(self._free):
+            return None
+        self._free.sort()
+        run_start = 0
+        for index in range(1, len(self._free) + 1):
+            if index == len(self._free) or self._free[index] != self._free[index - 1] + 1:
+                if index - run_start >= count:
+                    start = self._free[run_start]
+                    del self._free[run_start : run_start + count]
+                    return start
+                run_start = index
+        return None
+
+    def write_batch(self, defect_lists) -> list[int | None]:
+        """Write many defect lists at once; returns one slot (or ``None``,
+        the inline fallback) per list.
+
+        The batch path allocates one *contiguous* run of slots and lands
+        every list with a single vectorized pack into the mapping — one
+        numpy assignment instead of N ``struct.pack_into`` calls.  When no
+        contiguous run is free (fragmentation) or any list exceeds the slot
+        capacity, each list falls back to :meth:`write` individually; the
+        fallback changes bytes moved, never outcomes.
+        """
+        lists = [list(defects) for defects in defect_lists]
+        slots: list[int | None] = [None] * len(lists)
+        occupied = [index for index, values in enumerate(lists) if values]
+        count = len(occupied)
+        if count == 0:
+            return slots
+        start = None
+        if all(len(lists[index]) <= self.slot_capacity for index in occupied):
+            with self._lock:
+                start = self._take_run(count)
+        if start is None:
+            for index in occupied:
+                slots[index] = self.write(lists[index])
+            return slots
+        padded = np.zeros((count, self.slot_capacity), dtype=np.int64)
+        try:
+            for row, index in enumerate(occupied):
+                values = lists[index]
+                padded[row, : len(values)] = values
+        except (ValueError, TypeError, OverflowError):
+            # Unpackable defects (non-integers) are the caller's problem;
+            # the run must not leak with them.
+            with self._lock:
+                self._free.extend(range(start, start + count))
+            raise
+        view = np.frombuffer(
+            self._shm.buf,
+            dtype=np.int64,
+            count=count * self.slot_capacity,
+            offset=start * self.slot_capacity * 8,
+        ).reshape(count, self.slot_capacity)
+        view[:] = padded
+        for row, index in enumerate(occupied):
+            slots[index] = start + row
+        return slots
 
     def free(self, slot: int) -> None:
         """Return a slot to the free list once its response arrived."""

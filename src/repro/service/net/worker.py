@@ -6,16 +6,22 @@ in-process :class:`~repro.service.DecodeService` built from the server's
 :class:`~repro.service.ServiceConfig`, and speaks a small tuple protocol
 over its :class:`multiprocessing.Pipe` with the front end:
 
-==============================================  ============================
-server → worker                                  worker → server
-==============================================  ============================
-``("request", seq, wire, slot, count)``          ``("response", seq, payload)``
-``("stream-open", seq, sid, session, w, c)``     ``("stream-reply", seq, result)``
-``("stream-op", seq, sid, op, payload)``         ``("stream-reply", seq, result)``
-``("stream-close", sid)``                        *(no reply)*
-``("ping", seq)``                                ``("pong", seq)``
-``("drain",)``                                   ``("drained",)``
-==============================================  ============================
+=================================================  ===================================
+server → worker                                    worker → server
+=================================================  ===================================
+``("request", seq, wire, slot, count)``            ``("response", seq, payload)``
+``("request-batch", [(seq, wire, slot, count)])``  ``("response-batch", [(seq, payload)])``
+``("stream-open", seq, sid, session, w, c)``       ``("stream-reply", seq, result)``
+``("stream-op", seq, sid, op, payload)``           ``("stream-reply", seq, result)``
+``("stream-close", sid)``                          *(no reply)*
+``("ping", seq)``                                  ``("pong", seq)``
+``("drain",)``                                     ``("drained",)``
+=================================================  ===================================
+
+A ``request-batch`` message is the batched hop end to end: the whole batch
+is submitted to the in-process service *before* any member is awaited — the
+micro-batcher sees the full batch instead of trickled singles — and the one
+``response-batch`` reply is sent only when every member resolved.
 
 ``payload`` is :meth:`repro.service.DecodeResponse.to_dict` *minus* the
 request echo (the front end holds the request wire form and re-attaches it
@@ -108,6 +114,44 @@ def _request_from_wire(wire: dict, slab: SyndromeSlab | None, slot, count) -> De
     )
 
 
+class _BatchAccumulator:
+    """Collects one pipe batch's member payloads; sends one reply when full.
+
+    Futures resolve on the service's worker threads in any order; the
+    accumulator keeps the members in submission order and fires exactly one
+    ``("response-batch", ...)`` message once the last one lands.
+    """
+
+    __slots__ = ("_seqs", "_payloads", "_remaining", "_lock", "_send")
+
+    def __init__(self, seqs: list[int], send) -> None:
+        self._seqs = seqs
+        self._payloads: list = [None] * len(seqs)
+        self._remaining = len(seqs)
+        self._lock = threading.Lock()
+        self._send = send
+
+    def resolve(self, index: int, payload: dict) -> None:
+        with self._lock:
+            self._payloads[index] = payload
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self._send(
+                ("response-batch", list(zip(self._seqs, self._payloads)))
+            )
+
+    def callback(self, index: int):
+        def on_done(future) -> None:
+            try:
+                payload = response_payload(future.result())
+            except BaseException as exc:
+                payload = error_payload(exc)
+            self.resolve(index, payload)
+
+        return on_done
+
+
 def _stream_result_wire(result):
     """Serialise a stream-op result (None, a Counter, or a DecodeOutcome)."""
     if result is None:
@@ -191,6 +235,20 @@ def worker_main(
                 send(("response", seq, error_payload(exc)))
                 continue
             future.add_done_callback(on_response(seq))
+        elif command == "request-batch":
+            _, entries = message
+            batch = _BatchAccumulator([entry[0] for entry in entries], send)
+            # Submit the whole batch before awaiting anything: the service's
+            # micro-batcher coalesces what is in its queue, so the batch
+            # arrives as one wave, not a trickle of singles.
+            for index, (seq, wire, slot, count) in enumerate(entries):
+                try:
+                    request = _request_from_wire(wire, slab, slot, count)
+                    future = service.submit(request)
+                except BaseException as exc:
+                    batch.resolve(index, error_payload(exc))
+                    continue
+                future.add_done_callback(batch.callback(index))
         elif command == "stream-open":
             _, seq, sid, session_wire, window, commit_depth = message
             try:

@@ -23,10 +23,14 @@ from repro.service.net import (
     NetServer,
     SharedGraphPack,
     SyndromeSlab,
+    protocol,
     replay_network,
 )
 from repro.service.net.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
     PROTOCOL_VERSION,
+    ProtocolError,
     read_frame_sync,
     write_frame_sync,
 )
@@ -452,6 +456,120 @@ class TestConnectionRobustness:
             while server._streams and time.monotonic() < deadline:
                 time.sleep(0.01)
             assert not server._streams
+        finally:
+            server.stop()
+
+
+class TestWireV2:
+    """Codec negotiation, batching, coalescing, and v1 interop end to end."""
+
+    def test_mixed_version_interop_v1_client_same_answers(self):
+        """A legacy JSON-v1 client against a v2 server decodes the exact
+        same bits as a binary client on the same connection pool."""
+        trace = generate_trace(NET_TRACE)
+        requests = [traced.request for traced in trace.requests]
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as v2, NetClient(host, port, codecs=(1,)) as v1:
+                assert v2.codec == CODEC_BINARY
+                assert v1.codec == CODEC_JSON
+                v2_responses = v2.decode_many(requests, timeout=30.0)
+                v1_responses = v1.decode_many(requests, timeout=30.0)
+        finally:
+            server.stop()
+        for traced, a, b in zip(trace.requests, v2_responses, v1_responses):
+            assert a.ok and b.ok
+            graph = trace.graphs[traced.scenario_index]
+            assert a.outcome.correction_edges(graph) == b.outcome.correction_edges(graph)
+            assert a.outcome.weight == b.outcome.weight
+
+    def test_wire_stats_and_batch_frames(self):
+        trace = generate_trace(NET_TRACE)
+        requests = [traced.request for traced in trace.requests]
+        server = NetServer(NET_CONFIG, processes=2, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                responses = client.decode_many(requests, timeout=30.0)
+                stats = client.wire_stats()
+        finally:
+            server.stop()
+        assert all(response.ok for response in responses)
+        assert stats["codec"] == CODEC_BINARY
+        assert stats["frames_sent"] >= 1
+        assert stats["bytes_sent"] > 0
+        assert stats["frames_received"] >= 1
+        assert stats["bytes_received"] > 0
+        histogram = stats["batch_histogram"]
+        # decode_many packs one batch per predicted worker; every request is
+        # accounted for and at least one genuine multi-member batch went out.
+        assert sum(int(size) * count for size, count in histogram.items()) == len(requests)
+        assert max(int(size) for size in histogram) >= 2
+
+    def test_submit_coalescer_batches_under_pipeline(self):
+        """Nagle-style coalescing: a burst of ``submit`` calls resolves
+        correctly and at least some requests share a request-batch frame."""
+        trace = generate_trace(NET_TRACE)
+        server = NetServer(NET_CONFIG, processes=1, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                futures = [
+                    client.submit(traced.request) for traced in trace.requests * 4
+                ]
+                responses = [future.result(timeout=30.0) for future in futures]
+                stats = client.wire_stats()
+        finally:
+            server.stop()
+        assert all(response.ok for response in responses)
+        histogram = stats["batch_histogram"]
+        assert sum(int(size) * count for size, count in histogram.items()) == len(futures)
+        # The first submit goes out alone (idle fast path); under the
+        # resulting pipeline later submissions must have coalesced.
+        assert max(int(size) for size in histogram) >= 2
+
+    def test_decode_many_splits_oversized_batches(self, monkeypatch):
+        """A batch whose frame would exceed MAX_FRAME_BYTES is split client
+        side; every member still gets exactly one answer."""
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 4096)
+        trace = generate_trace(NET_TRACE)
+        requests = [traced.request for traced in trace.requests]
+        server = NetServer(NET_CONFIG, processes=1, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                responses = client.decode_many(requests, timeout=30.0)
+                stats = client.wire_stats()
+        finally:
+            server.stop()
+        assert all(response.ok for response in responses)
+        histogram = stats["batch_histogram"]
+        assert sum(int(size) * count for size, count in histogram.items()) == len(requests)
+        # One process means one routing group: without the split this would
+        # be a single batch of len(requests).
+        assert sum(histogram.values()) >= 2
+        assert max(int(size) for size in histogram) < len(requests)
+
+    def test_single_oversized_syndrome_fails_with_clear_error(self, monkeypatch):
+        """One syndrome too big for any frame fails its own future with an
+        actionable message instead of tearing the connection down."""
+        from repro.graphs.syndrome import Syndrome
+        from repro.service import DecodeRequest
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 4096)
+        trace = generate_trace(NET_TRACE)
+        key = trace.requests[0].request.session
+        huge = DecodeRequest(key, Syndrome(defects=tuple(range(1200))))
+        normal = trace.requests[0].request
+        server = NetServer(NET_CONFIG, processes=1, prewarm=prewarm_specs(NET_TRACE))
+        host, port = server.start()
+        try:
+            with NetClient(host, port) as client:
+                with pytest.raises(ProtocolError, match="request too large for one frame"):
+                    client.decode_many([huge, normal], timeout=30.0)
+                # The connection survived the refusal.
+                assert client.decode(normal, timeout=30.0).ok
         finally:
             server.stop()
 
