@@ -86,9 +86,20 @@ class StreamingDecoder(Protocol):
     graph: DecodingGraph
 
     def begin(
-        self, graph: DecodingGraph | None = None, rounds_hint: int | None = None
+        self,
+        graph: DecodingGraph | None = None,
+        rounds_hint: int | None = None,
+        erasures: Iterable[int] = (),
     ) -> None:
-        """Open a new stream (discarding any stream still in flight)."""
+        """Open a new stream (discarding any stream still in flight).
+
+        ``erasures`` carries the shot's heralded erased edges (known when
+        the stream opens: erasure heralds arrive with the measurement
+        hardware's leakage flags, before decoding starts).  Backends without
+        erasure support raise ``ValueError`` on a non-empty set; the
+        erasure-aware registry wrapper (:mod:`repro.api.erasure`) and the
+        :class:`repro.stream.SlidingWindowAdapter` honor it.
+        """
         ...
 
     def push_round(self, defects: Iterable[int]) -> Counter:

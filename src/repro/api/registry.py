@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..graphs.decoding_graph import DecodingGraph
+from .erasure import erasure_aware
 from .config import (
     DecoderConfig,
     LUTConfig,
@@ -211,7 +212,7 @@ def _build_reference(graph: DecodingGraph, config: DecoderConfig):
 
 register_decoder(
     "micro-blossom",
-    _build_micro_blossom,
+    functools.partial(erasure_aware, _build_micro_blossom),
     MicroBlossomConfig,
     "Micro Blossom heterogeneous decoder with round-wise fusion (stream mode)",
     capabilities=DecoderCapabilities(
@@ -220,7 +221,7 @@ register_decoder(
 )
 register_decoder(
     "micro-blossom-batch",
-    _build_micro_blossom,
+    functools.partial(erasure_aware, _build_micro_blossom),
     MicroBlossomConfig,
     "Micro Blossom decoding all measurement rounds at once (batch mode)",
     default_config=MicroBlossomConfig(stream=False),
@@ -231,21 +232,21 @@ register_decoder(
 )
 register_decoder(
     "parity-blossom",
-    _build_parity_blossom,
+    functools.partial(erasure_aware, _build_parity_blossom),
     ParityBlossomConfig,
     "Parity Blossom software MWPM baseline (sequential CPU phases)",
     capabilities=DecoderCapabilities(timing_model=True, exact=True),
 )
 register_decoder(
     "union-find",
-    _build_union_find,
+    functools.partial(erasure_aware, _build_union_find),
     UnionFindConfig,
     "Weighted-growth Union-Find decoder (Helios-class approximation)",
     capabilities=DecoderCapabilities(timing_model=True),
 )
 register_decoder(
     "reference",
-    _build_reference,
+    functools.partial(erasure_aware, _build_reference),
     ReferenceConfig,
     "Reference exact MWPM decoder on the dense syndrome graph",
     capabilities=DecoderCapabilities(exact=True),

@@ -159,11 +159,20 @@ class MicroBlossomDecoder:
     # incremental streaming (StreamingDecoder protocol, paper §6)
     # ------------------------------------------------------------------
     def begin(
-        self, graph: DecodingGraph | None = None, rounds_hint: int | None = None
+        self,
+        graph: DecodingGraph | None = None,
+        rounds_hint: int | None = None,
+        erasures: Iterable[int] = (),
     ) -> None:
         """Open a new stream; any stream still in flight is discarded."""
         if graph is not None and graph is not self.graph:
             raise ValueError("streaming decoder was built for a different graph")
+        if tuple(erasures):
+            raise ValueError(
+                "micro-blossom streams on fixed edge weights; heralded "
+                "erasures need the erasure-aware registry wrapper "
+                "(repro.api.erasure)"
+            )
         if rounds_hint is not None and rounds_hint > self.graph.num_layers:
             raise ValueError(
                 f"rounds_hint {rounds_hint} exceeds the graph's "

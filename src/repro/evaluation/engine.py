@@ -221,6 +221,9 @@ class ShardResult:
     counters: Counter
     histogram: LatencyHistogram | None = None
     defects: int = 0
+    #: Heralded erased edges observed across the shard's shots (0 for
+    #: non-erasure noise).
+    erased: int = 0
 
 
 @dataclass
@@ -234,6 +237,42 @@ class EngineResult:
     counters: Counter = field(default_factory=Counter)
     stopped_early: bool = False
     defects: int = 0
+    #: Heralded erased edges observed across the run (0 for non-erasure noise).
+    erased: int = 0
+
+    def digest(self) -> str:
+        """16-hex content hash of every deterministic per-shard statistic.
+
+        Two runs with the same ``(seed, shard_size, max_shots,
+        target_standard_error)`` must produce equal digests for *any*
+        ``workers`` count — the conformance harness pins this for every
+        noise family.  Timing (histograms, wall-clock) never joins the hash;
+        operation counters do, because decode work is deterministic.
+        """
+        from ..api.hashing import content_hash
+
+        return content_hash(
+            {
+                "shots": self.shots,
+                "errors": self.errors,
+                "stopped_early": self.stopped_early,
+                "shards": [
+                    {
+                        "index": shard.index,
+                        "shots": shard.shots,
+                        "errors": shard.errors,
+                        "decoded_shots": shard.decoded_shots,
+                        "defects": shard.defects,
+                        "erased": shard.erased,
+                        "counters": {
+                            key: shard.counters[key]
+                            for key in sorted(shard.counters)
+                        },
+                    }
+                    for shard in self.shards
+                ],
+            }
+        )
 
     @property
     def rate(self) -> float:
@@ -440,6 +479,7 @@ class MonteCarloEngine:
         graph = self.graph
         errors = 0
         defects = 0
+        erased = 0
         counters: Counter = Counter()
         histogram = LatencyHistogram() if self.latency_fn is not None else None
         outcome_iter = iter(outcomes)
@@ -447,6 +487,7 @@ class MonteCarloEngine:
             if syndrome.logical_flip is None:
                 raise ValueError("sampled syndrome lacks ground truth")
             defects += syndrome.defect_count
+            erased += len(syndrome.erasures)
             if not syndrome.defects:
                 if syndrome.logical_flip:
                     errors += 1
@@ -468,6 +509,7 @@ class MonteCarloEngine:
             counters=counters,
             histogram=histogram,
             defects=defects,
+            erased=erased,
         )
 
     # ------------------------------------------------------------------
@@ -522,6 +564,7 @@ class MonteCarloEngine:
                     result.shots += shard.shots
                     result.errors += shard.errors
                     result.defects += shard.defects
+                    result.erased += shard.erased
                     result.counters.update(shard.counters)
                     if merged_histogram is not None and shard.histogram is not None:
                         merged_histogram.merge(shard.histogram)

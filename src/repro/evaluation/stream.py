@@ -179,7 +179,7 @@ def _run_stream_shard(
         syndrome, rounds = sampler.sample_rounds()
         if syndrome.logical_flip is None:
             raise ValueError("sampled syndrome lacks ground truth")
-        session.begin(graph, rounds_hint=len(rounds))
+        session.begin(graph, rounds_hint=len(rounds), erasures=syndrome.erasures)
         pushes = [session.push_round(round_defects) for round_defects in rounds]
         outcome = session.finalize()
         counters.update(outcome.counters)

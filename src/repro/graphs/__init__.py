@@ -10,12 +10,16 @@ from .decoding_graph import (
     quantized_weight,
 )
 from .noise import (
+    NOISE_FAMILY_NAMES,
     NoiseModel,
     NoiseModelError,
     circuit_level_noise,
     code_capacity_noise,
+    correlated_burst_noise,
+    erasure_noise,
     noise_model_by_name,
     phenomenological_noise,
+    time_varying_noise,
 )
 from .repetition_code import repetition_code_decoding_graph
 from .surface_code import SurfaceCodeLayout, surface_code_decoding_graph
@@ -38,12 +42,16 @@ __all__ = [
     "GraphBuilder",
     "Vertex",
     "quantized_weight",
+    "NOISE_FAMILY_NAMES",
     "NoiseModel",
     "NoiseModelError",
     "circuit_level_noise",
     "code_capacity_noise",
+    "correlated_burst_noise",
+    "erasure_noise",
     "noise_model_by_name",
     "phenomenological_noise",
+    "time_varying_noise",
     "repetition_code_decoding_graph",
     "SurfaceCodeLayout",
     "surface_code_decoding_graph",

@@ -25,6 +25,9 @@ WEIGHT_DOUBLING = 2
 #: Default maximum quantised weight (4-bit representation, paper §8.1).
 DEFAULT_MAX_WEIGHT = 14
 
+#: Sentinel distinguishing "noise model not parsed yet" from "absent".
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class Vertex:
@@ -282,6 +285,53 @@ class DecodingGraph:
     @property
     def num_layers(self) -> int:
         return 1 + max((v.layer for v in self.vertices), default=0)
+
+    @property
+    def noise_model(self):
+        """The :class:`repro.graphs.NoiseModel` this graph was built under.
+
+        Parsed (once, then cached) from ``metadata["noise"]``, which the
+        surface-code builder records; ``None`` for graphs built without it
+        (hand-assembled test graphs, legacy metadata).
+        """
+        model = getattr(self, "_noise_model", _UNSET)
+        if model is _UNSET:
+            data = self.metadata.get("noise")
+            if data is None:
+                model = None
+            else:
+                from .noise import NoiseModel
+
+                model = NoiseModel.from_dict(data)
+            self._noise_model = model
+        return model
+
+    def with_erasures(self, erasures: Iterable[int]) -> "DecodingGraph":
+        """A graph variant in which the given edges carry zero weight.
+
+        Heralded erasures are located errors: an erased edge flipped with
+        probability 1/2, so its log-likelihood weight is 0 and any decoder
+        may use it for free.  Returns ``self`` when ``erasures`` is empty;
+        otherwise a new graph sharing vertices, observable set, and metadata,
+        with fresh distance caches (erasures change shortest paths).
+        """
+        from dataclasses import replace
+
+        erased = sorted(set(int(e) for e in erasures))
+        if not erased:
+            return self
+        for index in erased:
+            if not 0 <= index < self.num_edges:
+                raise ValueError(f"erased edge index {index} out of range")
+        edges = list(self.edges)
+        for index in erased:
+            edges[index] = replace(edges[index], weight=0)
+        return DecodingGraph(
+            self.vertices,
+            edges,
+            observable_edges=self.observable_edges,
+            metadata=self.metadata,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

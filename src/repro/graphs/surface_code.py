@@ -105,9 +105,19 @@ def surface_code_decoding_graph(
             "rounds": effective_rounds,
             "noise_model": noise_model.name,
             "physical_error_rate": noise_model.spatial,
+            "noise": noise_model.to_dict(),
         }
     )
     reference = noise_model.minimum_probability
+
+    # Per-round probability scaling (time-varying noise).  Scaling by the
+    # multiplier 1.0 of schedule-free models is an exact float no-op, so the
+    # probabilities — and hence weights, thresholds and sampled RNG streams —
+    # of the original families are byte-identical to earlier releases.
+    # Temporal/diagonal edges span two rounds and take the *later* round's
+    # multiplier (the round whose measurement realises the error).
+    def scaled(base: float, layer: int) -> float:
+        return base * noise_model.round_multiplier(layer)
 
     rows, cols = layout.rows, layout.cols
     # vertex index bookkeeping -------------------------------------------------
@@ -130,7 +140,7 @@ def surface_code_decoding_graph(
                     builder.add_edge(
                         vertex,
                         real_index[(layer, row, col + 1)],
-                        noise_model.spatial,
+                        scaled(noise_model.spatial, layer),
                         reference,
                         kind="spatial",
                     )
@@ -138,7 +148,7 @@ def surface_code_decoding_graph(
                     builder.add_edge(
                         vertex,
                         real_index[(layer, row + 1, col)],
-                        noise_model.spatial,
+                        scaled(noise_model.spatial, layer),
                         reference,
                         kind="spatial",
                     )
@@ -148,7 +158,7 @@ def surface_code_decoding_graph(
             builder.add_edge(
                 real_index[(layer, 0, col)],
                 top_virtual[layer],
-                noise_model.boundary,
+                scaled(noise_model.boundary, layer),
                 reference,
                 observable=True,
                 kind="boundary",
@@ -156,7 +166,7 @@ def surface_code_decoding_graph(
             builder.add_edge(
                 real_index[(layer, rows - 1, col)],
                 bottom_virtual[layer],
-                noise_model.boundary,
+                scaled(noise_model.boundary, layer),
                 reference,
                 kind="boundary",
             )
@@ -169,7 +179,7 @@ def surface_code_decoding_graph(
                     builder.add_edge(
                         real_index[(layer, row, col)],
                         real_index[(layer + 1, row, col)],
-                        noise_model.temporal,
+                        scaled(noise_model.temporal, layer + 1),
                         reference,
                         kind="temporal",
                     )
@@ -183,7 +193,7 @@ def surface_code_decoding_graph(
                         builder.add_edge(
                             real_index[(layer, row, col)],
                             real_index[(layer + 1, row + 1, col)],
-                            noise_model.diagonal,
+                            scaled(noise_model.diagonal, layer + 1),
                             reference,
                             kind="diagonal",
                         )
@@ -193,7 +203,7 @@ def surface_code_decoding_graph(
                 builder.add_edge(
                     real_index[(layer, 0, col)],
                     top_virtual[layer + 1],
-                    noise_model.diagonal,
+                    scaled(noise_model.diagonal, layer + 1),
                     reference,
                     observable=True,
                     kind="diagonal",

@@ -20,6 +20,16 @@ from .decoding_graph import DecodingGraph
 BOUNDARY = -1
 
 
+def _uint32_threshold(probability: float) -> np.uint32:
+    """Fixed-point comparison threshold of a probability in [0, 1].
+
+    A 32-bit lane fires when it is below ``round(p * 2**32)``; probabilities
+    within ``2**-33`` of 1 clip to ``2**32 - 1`` (a miss chance of ``2**-32``
+    per draw — immaterial, and it keeps the threshold in uint32 range).
+    """
+    return np.uint32(min(int(round(probability * float(1 << 32))), (1 << 32) - 1))
+
+
 @dataclass(frozen=True)
 class Syndrome:
     """A sampled decoding instance.
@@ -30,11 +40,16 @@ class Syndrome:
             syndrome was supplied externally).
         logical_flip: whether the ground-truth error flips the logical
             observable (None when unknown).
+        erasures: sorted tuple of *heralded* erased edge indices (empty for
+            non-erasure noise).  Erasure-aware decoders treat these edges as
+            zero-weight; an erased edge flipped with probability 1/2 and
+            appears in ``error_edges`` only when it actually did.
     """
 
     defects: tuple[int, ...]
     error_edges: tuple[int, ...] = ()
     logical_flip: bool | None = None
+    erasures: tuple[int, ...] = ()
 
     @property
     def defect_count(self) -> int:
@@ -43,14 +58,23 @@ class Syndrome:
     def to_dict(self) -> dict:
         """JSON-shaped wire form (the network decode service's codec).
 
+        ``erasures`` appears only when non-empty, so the wire form (and every
+        content hash over it) of erasure-free syndromes is byte-identical to
+        earlier releases.
+
         >>> Syndrome((1, 4), logical_flip=True).to_dict()
         {'defects': [1, 4], 'error_edges': [], 'logical_flip': True}
+        >>> Syndrome((1,), erasures=(0, 2)).to_dict()["erasures"]
+        [0, 2]
         """
-        return {
+        data = {
             "defects": list(self.defects),
             "error_edges": list(self.error_edges),
             "logical_flip": self.logical_flip,
         }
+        if self.erasures:
+            data["erasures"] = list(self.erasures)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Syndrome":
@@ -64,6 +88,7 @@ class Syndrome:
             defects=tuple(int(d) for d in data["defects"]),
             error_edges=tuple(int(e) for e in data.get("error_edges", ())),
             logical_flip=None if flip is None else bool(flip),
+            erasures=tuple(int(e) for e in data.get("erasures", ())),
         )
 
     def defects_in_layers(
@@ -179,6 +204,16 @@ class SyndromeSampler:
     :meth:`sample_batch` consumes the exact same word stream as the
     equivalent number of :meth:`sample` calls, so the two are bit-identical
     per shot and can be mixed freely on one sampler.
+
+    *Dynamic* noise models (correlated bursts, erasures — flagged by
+    :attr:`repro.graphs.NoiseModel.is_dynamic` on the graph's recorded noise
+    model) consume extra random words per shot, in a fixed per-shot layout:
+    first the burst-chain words (one 32-bit lane per measurement round), then
+    the erasure words (one lane per edge), then the usual flip words.  Both
+    the scalar and the batch path draw whole shots from that identical
+    layout, so the scalar==batch bit-identity contract extends to every
+    family — and static models consume the exact word stream they always
+    did.
     """
 
     #: Cap on raw 64-bit words drawn per internal chunk of
@@ -206,18 +241,123 @@ class SyndromeSampler:
         self._thresholds[: graph.num_edges] = np.round(
             self._probabilities * float(1 << 32)
         ).astype(np.uint32)
-        self._chunk_shots = max(1, self._CHUNK_WORDS // max(1, self._words_per_shot))
+        # Dynamic-noise machinery (bursts/erasures): extra word groups per
+        # shot, laid out [chain words][erasure words][flip words].  Static
+        # models keep `_shot_words == _words_per_shot` and the original
+        # single-group stream, so their RNG consumption is unchanged.
+        model = graph.noise_model
+        self._dynamic = model is not None and model.is_dynamic
+        self._chain_words = 0
+        self._erasure_words = 0
+        if self._dynamic and model.burst_entry > 0.0:
+            self._chain_words = (graph.num_layers + 1) // 2
+            self._entry_threshold = _uint32_threshold(model.burst_entry)
+            self._exit_threshold = _uint32_threshold(model.burst_exit)
+            boosted = self._probabilities * model.burst_multiplier
+            self._burst_thresholds = np.zeros(
+                2 * self._words_per_shot, dtype=np.uint32
+            )
+            self._burst_thresholds[: graph.num_edges] = np.round(
+                boosted * float(1 << 32)
+            ).astype(np.uint32)
+            # An edge "belongs" to the round of its later endpoint — the
+            # round whose measurement realises the error.  Padding lanes get
+            # layer 0; their thresholds are 0 either way.
+            layers = np.zeros(2 * self._words_per_shot, dtype=np.int64)
+            layers[: graph.num_edges] = [
+                max(graph.vertices[e.u].layer, graph.vertices[e.v].layer)
+                for e in graph.edges
+            ]
+            self._edge_lane_layers = layers
+        if self._dynamic and model.erasure > 0.0:
+            self._erasure_words = self._words_per_shot
+            self._erasure_thresholds = np.zeros(
+                2 * self._words_per_shot, dtype=np.uint32
+            )
+            self._erasure_thresholds[: graph.num_edges] = _uint32_threshold(
+                model.erasure
+            )
+        self._shot_words = (
+            self._chain_words + self._erasure_words + self._words_per_shot
+        )
+        self._chunk_shots = max(1, self._CHUNK_WORDS // max(1, self._shot_words))
         self._incidence: tuple[np.ndarray, ...] | None = None
         self._flip_buffer: np.ndarray | None = None
 
+    def _burst_rounds(self, chain_lanes: np.ndarray) -> np.ndarray:
+        """Advance the burst Markov chain over the rounds of each shot.
+
+        ``chain_lanes`` is ``(shots, num_layers)`` uint32; the result is the
+        ``(shots, num_layers)`` boolean burst state per round.  Each shot's
+        chain starts quiet; a quiet round bursts when its lane falls below
+        the entry threshold, a bursting round recovers when its lane falls
+        below the exit threshold.  Scalar and batch sampling share this
+        exact comparison sequence, preserving bit-identity.
+        """
+        shots, layers = chain_lanes.shape
+        burst = np.empty((shots, layers), dtype=bool)
+        state = np.zeros(shots, dtype=bool)
+        for r in range(layers):
+            lane = chain_lanes[:, r]
+            state = np.where(state, lane >= self._exit_threshold, lane < self._entry_threshold)
+            burst[:, r] = state
+        return burst
+
+    def _shot_thresholds(
+        self, burst: np.ndarray | None, erased: np.ndarray | None
+    ) -> np.ndarray:
+        """Effective per-lane flip thresholds of one or more shots.
+
+        ``burst`` is ``(shots, num_layers)`` bool (or None without a chain);
+        ``erased`` is ``(shots, 2 * words_per_shot)`` bool (or None without
+        erasures).  Bursting rounds use the boosted thresholds; erased lanes
+        flip with probability 1/2 regardless of bursts.
+        """
+        thresholds: np.ndarray = self._thresholds
+        if burst is not None:
+            thresholds = np.where(
+                burst[:, self._edge_lane_layers], self._burst_thresholds, thresholds
+            )
+        if erased is not None:
+            thresholds = np.where(erased, np.uint32(1 << 31), thresholds)
+        return thresholds
+
     def sample(self) -> Syndrome:
         """Sample one syndrome by flipping each edge independently."""
-        lanes = self.rng.bit_generator.random_raw(self._words_per_shot).view(np.uint32)
-        flips = lanes < self._thresholds
+        if not self._dynamic:
+            lanes = self.rng.bit_generator.random_raw(self._words_per_shot).view(
+                np.uint32
+            )
+            flips = lanes < self._thresholds
+            error_edges = tuple(
+                int(i) for i in np.flatnonzero(flips[: self.graph.num_edges])
+            )
+            return self.syndrome_from_errors(error_edges)
+        lanes = self.rng.bit_generator.random_raw(self._shot_words).view(np.uint32)
+        offset = 0
+        burst = None
+        if self._chain_words:
+            burst = self._burst_rounds(
+                lanes[np.newaxis, : self.graph.num_layers]
+            )
+            offset = 2 * self._chain_words
+        erased = None
+        erasures: tuple[int, ...] = ()
+        if self._erasure_words:
+            erasure_lanes = lanes[offset : offset + 2 * self._erasure_words]
+            erased = (erasure_lanes < self._erasure_thresholds)[np.newaxis, :]
+            erasures = tuple(
+                int(i) for i in np.flatnonzero(erased[0, : self.graph.num_edges])
+            )
+            offset += 2 * self._erasure_words
+        # A dynamic model has a chain, erasures, or both, so the effective
+        # thresholds always come back with a leading shot axis here.
+        thresholds = self._shot_thresholds(burst, erased)
+        flips = lanes[offset:] < thresholds[0]
         error_edges = tuple(
             int(i) for i in np.flatnonzero(flips[: self.graph.num_edges])
         )
-        return self.syndrome_from_errors(error_edges)
+        return self.syndrome_from_errors(error_edges, erasures=erasures)
 
     def sample_rounds(self) -> tuple[Syndrome, tuple[tuple[int, ...], ...]]:
         """Sample one syndrome and emit its defects round by round.
@@ -283,13 +423,17 @@ class SyndromeSampler:
         num_lanes = 2 * self._words_per_shot
         if self._flip_buffer is None:
             self._flip_buffer = np.empty((self._chunk_shots, num_lanes), dtype=bool)
-        lanes = (
-            self.rng.bit_generator.random_raw(count * self._words_per_shot)
-            .view(np.uint32)
-            .reshape(count, num_lanes)
-        )
-        flips = self._flip_buffer[:count]
-        np.less(lanes, self._thresholds, out=flips)
+        if self._dynamic:
+            flips, erasure_data = self._dynamic_chunk_flips(count)
+        else:
+            erasure_data = None
+            lanes = (
+                self.rng.bit_generator.random_raw(count * self._words_per_shot)
+                .view(np.uint32)
+                .reshape(count, num_lanes)
+            )
+            flips = self._flip_buffer[:count]
+            np.less(lanes, self._thresholds, out=flips)
         # ``flatnonzero`` scans row-major, so per-shot edge indices come out
         # sorted exactly like the scalar path's.  Padding lanes carry a zero
         # threshold and can never flip, so every index maps to a real edge.
@@ -323,23 +467,82 @@ class SyndromeSampler:
         # direct ``__dict__`` assignment, skipping the frozen-dataclass
         # ``__init__`` (which routes every field through
         # ``object.__setattr__``).  The instances are indistinguishable from
-        # normally-constructed ones.
+        # normally-constructed ones; ``erasures`` left out of the ``__dict__``
+        # falls back to the class-level default ``()``.
         make = object.__new__
         cls = Syndrome
         defect_start = 0
         edge_start = 0
-        for defect_stop, edge_stop, flip in zip(
-            defect_offsets, edge_offsets, logical_flips
-        ):
-            syndrome = make(cls)
-            syndrome.__dict__["defects"] = defect_vertices[defect_start:defect_stop]
-            syndrome.__dict__["error_edges"] = error_edges[edge_start:edge_stop]
-            syndrome.__dict__["logical_flip"] = flip
-            out.append(syndrome)
-            defect_start = defect_stop
-            edge_start = edge_stop
+        if erasure_data is None:
+            for defect_stop, edge_stop, flip in zip(
+                defect_offsets, edge_offsets, logical_flips
+            ):
+                syndrome = make(cls)
+                syndrome.__dict__["defects"] = defect_vertices[defect_start:defect_stop]
+                syndrome.__dict__["error_edges"] = error_edges[edge_start:edge_stop]
+                syndrome.__dict__["logical_flip"] = flip
+                out.append(syndrome)
+                defect_start = defect_stop
+                edge_start = edge_stop
+        else:
+            erased_edges, erasure_offsets = erasure_data
+            erasure_start = 0
+            for defect_stop, edge_stop, erasure_stop, flip in zip(
+                defect_offsets, edge_offsets, erasure_offsets, logical_flips
+            ):
+                syndrome = make(cls)
+                syndrome.__dict__["defects"] = defect_vertices[defect_start:defect_stop]
+                syndrome.__dict__["error_edges"] = error_edges[edge_start:edge_stop]
+                syndrome.__dict__["logical_flip"] = flip
+                syndrome.__dict__["erasures"] = erased_edges[erasure_start:erasure_stop]
+                out.append(syndrome)
+                defect_start = defect_stop
+                edge_start = edge_stop
+                erasure_start = erasure_stop
 
-    def syndrome_from_errors(self, error_edges: Iterable[int]) -> Syndrome:
+    def _dynamic_chunk_flips(
+        self, count: int
+    ) -> tuple[np.ndarray, tuple[tuple[int, ...], list[int]] | None]:
+        """Draw and threshold one chunk of dynamic-noise shots.
+
+        Returns ``(flips, erasure_data)``: the ``(count, num_lanes)`` flip
+        matrix, plus — for erasure models — the flattened per-shot erased
+        edge indices and their cumulative offsets (None otherwise).  The
+        word stream is consumed in whole shots of the same
+        chain/erasure/flip layout as :meth:`sample`, so chunked batches stay
+        bit-identical to scalar draws.
+        """
+        num_lanes = 2 * self._words_per_shot
+        words = (
+            self.rng.bit_generator.random_raw(count * self._shot_words)
+            .view(np.uint32)
+            .reshape(count, 2 * self._shot_words)
+        )
+        col = 0
+        burst = None
+        if self._chain_words:
+            burst = self._burst_rounds(words[:, : self.graph.num_layers])
+            col = 2 * self._chain_words
+        erased = None
+        erasure_data = None
+        if self._erasure_words:
+            erased = words[:, col : col + num_lanes] < self._erasure_thresholds
+            col += num_lanes
+            flat = np.flatnonzero(np.ravel(erased))
+            shot_index = flat // num_lanes
+            edge_index = flat - shot_index * num_lanes
+            erasure_data = (
+                tuple(edge_index.tolist()),
+                np.bincount(shot_index, minlength=count).cumsum().tolist(),
+            )
+        thresholds = self._shot_thresholds(burst, erased)
+        flips = self._flip_buffer[:count]
+        np.less(words[:, col:], thresholds, out=flips)
+        return flips, erasure_data
+
+    def syndrome_from_errors(
+        self, error_edges: Iterable[int], erasures: Iterable[int] = ()
+    ) -> Syndrome:
         """Derive the syndrome produced by a known set of flipped edges."""
         error_edges = tuple(sorted(set(error_edges)))
         parity = [0] * self.graph.num_vertices
@@ -353,7 +556,12 @@ class SyndromeSampler:
             if flipped and not self.graph.is_virtual(index)
         )
         logical_flip = self.graph.crosses_observable(error_edges)
-        return Syndrome(defects=defects, error_edges=error_edges, logical_flip=logical_flip)
+        return Syndrome(
+            defects=defects,
+            error_edges=error_edges,
+            logical_flip=logical_flip,
+            erasures=tuple(sorted(set(int(e) for e in erasures))),
+        )
 
 
 def matching_weight(graph: DecodingGraph, result: MatchingResult) -> int:

@@ -6,7 +6,7 @@ precomputed :class:`~repro.lut.table.LookupTable`; a hit replays the
 fallback's own stored answer (cloned — results are mutable), a miss hands the
 syndrome to the wrapped backend unchanged.  Either way the caller observes
 exactly what the fallback would have produced, which is what
-``tests/test_conformance.py`` pins across every backend × noise family.
+``tests/conformance/`` pins across every backend × noise family.
 
 Outcome counters carry ``lut_hit`` / ``lut_miss`` / ``lut_zero_defect_hit``
 markers so the Monte-Carlo engine's per-shard counter aggregation surfaces
@@ -81,7 +81,11 @@ class LUTDecoder:
     # batch decode protocol
     # ------------------------------------------------------------------
     def decode(self, syndrome: Syndrome) -> MatchingResult:
-        entry = self.table.lookup(syndrome.defects)
+        # Heralded erasures reweight the graph per shot; the table stores
+        # base-graph answers, so erased syndromes always take the fallback
+        # (which is erasure-aware — it was built through the registry's
+        # wrapped factory).
+        entry = None if syndrome.erasures else self.table.lookup(syndrome.defects)
         if entry is None:
             self.misses += 1
             return self.fallback.decode(syndrome)
@@ -89,7 +93,7 @@ class LUTDecoder:
         return clone_matching(entry.matching)
 
     def decode_detailed(self, syndrome: Syndrome) -> DecodeOutcome:
-        entry = self.table.lookup(syndrome.defects)
+        entry = None if syndrome.erasures else self.table.lookup(syndrome.defects)
         if entry is None:
             self.misses += 1
             outcome = self.fallback.decode_detailed(syndrome)
@@ -114,9 +118,12 @@ class LUTDecoder:
     # streaming protocol (pure delegation — see module docstring)
     # ------------------------------------------------------------------
     def begin(
-        self, graph: DecodingGraph | None = None, rounds_hint: int | None = None
+        self,
+        graph: DecodingGraph | None = None,
+        rounds_hint: int | None = None,
+        erasures: Iterable[int] = (),
     ) -> None:
-        self.fallback.begin(graph, rounds_hint)
+        self.fallback.begin(graph, rounds_hint, erasures=erasures)
 
     def push_round(self, defects: Iterable[int]) -> Counter:
         return self.fallback.push_round(defects)

@@ -47,16 +47,25 @@ class OutcomeCacheStats:
 def outcome_cache_key(session_key: str, syndrome: Syndrome) -> str:
     """Content-addressed cache key of one decode request.
 
-    Only the defect set joins the hash: a decode depends on nothing else in
-    the syndrome (``error_edges``/``logical_flip`` are ground-truth metadata
-    carried for evaluation, invisible to the decoder).
+    The defect set joins the hash, plus — only when present — the heralded
+    ``erasures`` (erasures reweight the graph, so equal defect sets with
+    different erasure patterns decode differently; the conditional field
+    keeps erasure-free keys byte-identical to earlier releases).
+    ``error_edges``/``logical_flip`` stay out: they are ground-truth metadata
+    carried for evaluation, invisible to the decoder.
 
     >>> from repro.graphs.syndrome import Syndrome
     >>> key = outcome_cache_key("d=3/decoder=union-find", Syndrome(defects=(1, 4)))
     >>> len(key)
     16
+    >>> erased = Syndrome(defects=(1, 4), erasures=(7,))
+    >>> outcome_cache_key("d=3/decoder=union-find", erased) != key
+    True
     """
-    return content_hash({"session": session_key, "defects": list(syndrome.defects)})
+    payload = {"session": session_key, "defects": list(syndrome.defects)}
+    if syndrome.erasures:
+        payload["erasures"] = list(syndrome.erasures)
+    return content_hash(payload)
 
 
 class OutcomeCache:

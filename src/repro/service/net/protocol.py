@@ -175,6 +175,11 @@ def _put_u32_array(out: bytearray, values) -> None:
 
 
 def _put_syndrome(out: bytearray, syndrome: dict) -> None:
+    if syndrome.get("erasures"):
+        # The compact layout has no erasure slot; raising here makes
+        # _encode_binary return None, so the frame ships as a codec-1
+        # canonical-JSON frame instead — which carries every Syndrome field.
+        raise ValueError("binary codec does not encode heralded erasures")
     flip = syndrome.get("logical_flip")
     out += _U8.pack(0 if flip is None else (2 if flip else 1))
     _put_u32_array(out, syndrome.get("defects", ()))

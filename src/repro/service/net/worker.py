@@ -109,6 +109,7 @@ def _request_from_wire(wire: dict, slab: SyndromeSlab | None, slot, count) -> De
             defects=defects,
             error_edges=syndrome.error_edges,
             logical_flip=syndrome.logical_flip,
+            erasures=syndrome.erasures,
         ),
         request_id=request.request_id,
     )

@@ -536,6 +536,31 @@ SMOKE_TRACE = TraceSpec(
 )
 
 
+#: Pinned noise-family mix: every non-i.i.d. noise family the sampler
+#: supports (correlated bursts, heralded erasures, time-varying p) plus a
+#: phenomenological control, replayed through the full service path so the
+#: wire protocol, session cache and outcome cache all see erasure-carrying
+#: and burst-correlated syndromes.  ``tests/conformance`` pins its
+#: ``trace_hash`` and replays it for worker-count-independent digests.
+NOISE_FAMILY_SMOKE_TRACE = TraceSpec(
+    name="noise-family-smoke",
+    scenarios=(
+        Scenario(distance=3, noise="correlated_burst", physical_error_rate=0.01,
+                 decoder="micro-blossom"),
+        Scenario(distance=3, noise="erasure", physical_error_rate=0.01,
+                 decoder="union-find"),
+        Scenario(distance=3, noise="time_varying", physical_error_rate=0.02,
+                 decoder="micro-blossom"),
+        Scenario(distance=3, noise="phenomenological", physical_error_rate=0.02,
+                 decoder="union-find"),
+    ),
+    requests=48,
+    seed=2028,
+    arrival="open",
+    rate_rps=None,
+)
+
+
 #: Pinned hostile mix of ``repro serve-bench --hostile-smoke``: one small
 #: trace per family, replayed under :data:`repro.service.faults.HOSTILE_SMOKE_PLAN`.
 #: Everything — arrivals, syndromes, poison selection — is seed-stable, so

@@ -73,6 +73,9 @@ class _AdapterState:
     """Per-stream bookkeeping between ``begin`` and ``finalize``."""
 
     rounds: list[tuple[int, ...]] = field(default_factory=list)
+    #: Heralded erased edges of this stream's shot (attached to every
+    #: syndrome handed to the wrapped decoder).
+    erasures: tuple[int, ...] = ()
     #: Defects not yet frozen by a window commit.
     pending: set[int] = field(default_factory=set)
     #: First round whose decisions are not yet final.
@@ -125,9 +128,18 @@ class SlidingWindowAdapter:
     # StreamingDecoder protocol
     # ------------------------------------------------------------------
     def begin(
-        self, graph: DecodingGraph | None = None, rounds_hint: int | None = None
+        self,
+        graph: DecodingGraph | None = None,
+        rounds_hint: int | None = None,
+        erasures: Iterable[int] = (),
     ) -> None:
-        """Open a new stream; any stream still in flight is discarded."""
+        """Open a new stream; any stream still in flight is discarded.
+
+        ``erasures`` (the shot's heralded erased edges, known up front) is
+        attached to every syndrome handed to the wrapped decoder, which must
+        be erasure-aware to honor it (the registry's built-in factories are;
+        see :mod:`repro.api.erasure`).
+        """
         if graph is not None and graph is not self.graph:
             raise ValueError("streaming adapter was built for a different graph")
         if rounds_hint is not None and rounds_hint > self.graph.num_layers:
@@ -135,7 +147,9 @@ class SlidingWindowAdapter:
                 f"rounds_hint {rounds_hint} exceeds the graph's "
                 f"{self.graph.num_layers} measurement rounds"
             )
-        self._state = _AdapterState()
+        self._state = _AdapterState(
+            erasures=tuple(sorted(set(int(e) for e in erasures)))
+        )
 
     def push_round(self, defects: Iterable[int]) -> Counter:
         """Buffer the next round; decode and commit once the window fills."""
@@ -192,7 +206,7 @@ class SlidingWindowAdapter:
             # outcome (weight and correction) identical to the backend's own
             # batch decode, even if window decodes ran along the way.
             backend = self.decoder.decode_detailed(
-                Syndrome(defects=all_defects)
+                Syndrome(defects=all_defects, erasures=state.erasures)
             )
             outcome.result = backend.result
             outcome.correction = backend.correction
@@ -207,7 +221,12 @@ class SlidingWindowAdapter:
             pairs.extend(tail.pairs)
             boundaries.update(tail.boundary_vertices)
         result = MatchingResult(pairs=pairs, boundary_vertices=boundaries)
-        result.weight = matching_weight(self.graph, result)
+        # Weight on the erased-variant graph when the shot carried heralded
+        # erasures — consistent with the zero-weight edges the wrapped
+        # decoder matched over.
+        result.weight = matching_weight(
+            self.graph.with_erasures(state.erasures), result
+        )
         result.validate_perfect(all_defects)
         outcome.result = result
         outcome.committed_pairs = len(state.committed_pairs)
@@ -220,7 +239,9 @@ class SlidingWindowAdapter:
     def _decode_pending(self, state: _AdapterState) -> tuple[MatchingResult, Counter]:
         """Batch-decode every pending defect; returns (matching, work)."""
         visible = tuple(sorted(state.pending))
-        backend = self.decoder.decode_detailed(Syndrome(defects=visible))
+        backend = self.decoder.decode_detailed(
+            Syndrome(defects=visible, erasures=state.erasures)
+        )
         if backend.result is not None:
             result = backend.result
         else:

@@ -97,6 +97,7 @@ def _point_result(
         stopped_early=engine_result.stopped_early,
         latency=LatencySummary.from_histogram(histogram) if histogram else None,
         lut=_lut_stats(point, engine_result),
+        erased=engine_result.erased,
         elapsed_seconds=elapsed_seconds,
     )
 

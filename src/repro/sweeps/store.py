@@ -139,6 +139,10 @@ class PointResult:
     #: Serialized *only when present* so stores written before the LUT
     #: subsystem existed keep their fingerprints byte for byte.
     lut: LUTStats | None = None
+    #: Heralded erasure flags observed across all shots — non-zero only for
+    #: the ``erasure`` noise family.  Serialized *only when non-zero* (same
+    #: contract as ``lut``) so pre-erasure stores keep their fingerprints.
+    erased: int = 0
     #: Wall-clock seconds of the run (machine-dependent; excluded from the
     #: store's determinism contract).  Cache hits restore the value the
     #: original run recorded, so throughput columns reflect that machine.
@@ -185,6 +189,8 @@ class PointResult:
         }
         if self.lut is not None:
             payload["lut"] = self.lut.to_dict()
+        if self.erased:
+            payload["erased"] = self.erased
         return payload
 
 
@@ -338,6 +344,7 @@ class ResultStore:
             stopped_early=bool(result["stopped_early"]),
             latency=LatencySummary.from_dict(latency) if latency else None,
             lut=LUTStats.from_dict(lut) if lut else None,
+            erased=int(result.get("erased", 0)),
             elapsed_seconds=float(timing.get("elapsed_seconds", 0.0)),
             cached=cached,
         )

@@ -1,0 +1,9 @@
+"""Cross-decoder differential conformance harness.
+
+Every registered decoder is driven over seeded random syndromes across every
+noise family the sampler supports — the three i.i.d. families plus the
+correlated-burst, heralded-erasure and time-varying families — checking the
+structural contract each backend must satisfy on every shot, streamed and
+batch, through the ``lut+`` wrappers, the Monte-Carlo engine and the decode
+service.  See ``harness.py`` for the shared shot machinery.
+"""

@@ -1,0 +1,27 @@
+"""Package-scoped fixtures: one seeded shot set per noise family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import SyndromeSampler
+
+from .harness import NOISE_FAMILIES, SHOTS_PER_FAMILY, reference_optima
+
+
+@pytest.fixture(scope="package", params=sorted(NOISE_FAMILIES))
+def conformance_case(request):
+    """One noise family: its graph, seeded syndromes and reference optima.
+
+    Syndromes keep their sampled erasure flags; the optima are computed on
+    each shot's erased-variant graph (see :func:`harness.reference_optima`),
+    so exactness assertions compare like with like.
+    """
+    graph = NOISE_FAMILIES[request.param]()
+    sampler = SyndromeSampler(graph, seed=20260729)
+    syndromes = [s for s in sampler.sample_batch(SHOTS_PER_FAMILY * 2) if s.defects][
+        :SHOTS_PER_FAMILY
+    ]
+    assert len(syndromes) >= 10, "noise too weak to exercise the decoders"
+    optima = reference_optima(graph, syndromes)
+    return request.param, graph, syndromes, optima

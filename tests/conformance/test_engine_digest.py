@@ -1,0 +1,59 @@
+"""Monte-Carlo engine digests: worker-count independence, pinned per family.
+
+``EngineResult.digest()`` hashes every deterministic per-shard statistic
+(shots, errors, decoded shots, defects, erased flags, operation counters) and
+none of the timing.  The literals below are the cross-machine contract: a
+change to the sampler's word layout, the erasure plumbing or the shard
+aggregation shows up here as a digest flip before it shows up anywhere
+subtle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.engine import MonteCarloEngine
+from repro.graphs import (
+    correlated_burst_noise,
+    erasure_noise,
+    phenomenological_noise,
+    surface_code_decoding_graph,
+    time_varying_noise,
+)
+
+#: (noise model, pinned digest of 256 union-find shots at seed 11, shard 64).
+_PINNED = {
+    "correlated_burst": (correlated_burst_noise(0.015), "112b01bb896fc82e"),
+    "erasure": (erasure_noise(0.01), "0da139ca6b48f87f"),
+    "time_varying": (time_varying_noise(0.015), "cc9cc6d360ac3247"),
+    "phenomenological": (phenomenological_noise(0.02), "9015cd4c545a6f1a"),
+}
+
+
+@pytest.mark.parametrize("family", sorted(_PINNED))
+def test_digest_is_worker_count_independent_and_pinned(family):
+    model, pinned = _PINNED[family]
+    graph = surface_code_decoding_graph(3, model)
+    digests = {}
+    results = {}
+    for workers in (1, 4):
+        engine = MonteCarloEngine(graph, "union-find", shard_size=64, workers=workers)
+        result = engine.run(256, seed=11)
+        digests[workers] = result.digest()
+        results[workers] = result
+    assert digests[1] == digests[4], family
+    assert digests[1] == pinned, family
+    assert results[1].errors == results[4].errors
+    assert results[1].erased == results[4].erased
+    if family == "erasure":
+        assert results[1].erased > 0
+    else:
+        assert results[1].erased == 0
+
+
+def test_erased_tally_counts_heralded_flags():
+    """``EngineResult.erased`` sums the per-shard heralded-flag counts."""
+    graph = surface_code_decoding_graph(3, erasure_noise(0.01))
+    engine = MonteCarloEngine(graph, "union-find", shard_size=64, workers=1)
+    result = engine.run(128, seed=5)
+    assert result.erased == sum(shard.erased for shard in result.shards) > 0

@@ -1,0 +1,101 @@
+"""The net tier replays the new noise families: trace pins and wire rules.
+
+``NOISE_FAMILY_SMOKE_TRACE`` mixes every non-i.i.d. family through the full
+service path.  Its hash is pinned (as is ``SMOKE_TRACE``'s, which must never
+move — the new trace fields serialize only at non-default values), its
+expansion is replay-stable, erasure-carrying requests must ship as codec-1
+JSON frames (the binary layout has no erasure slot), and the service-load
+healthy digest is worker-count independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.service_load import ServiceLoadEngine
+from repro.service.net.protocol import (
+    _LENGTH,
+    CODEC_BINARY,
+    decode_payload,
+    encode_frame,
+)
+from repro.service.request import DecodeRequest
+from repro.service.trace import (
+    NOISE_FAMILY_SMOKE_TRACE,
+    SMOKE_TRACE,
+    TraceSpec,
+    generate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def noise_trace():
+    return generate_trace(NOISE_FAMILY_SMOKE_TRACE)
+
+
+def test_trace_hashes_are_pinned():
+    # the pre-existing CI trace must keep its hash across the noise upgrade
+    assert SMOKE_TRACE.trace_hash() == "dc69d9b30cc305ea"
+    assert NOISE_FAMILY_SMOKE_TRACE.trace_hash() == "8a64e0f1199a2844"
+
+
+def test_trace_covers_every_new_family_and_replays_bit_identically(noise_trace):
+    families = {s.noise for s in NOISE_FAMILY_SMOKE_TRACE.scenarios}
+    assert {"correlated_burst", "erasure", "time_varying"} <= families
+    erased = [tr for tr in noise_trace.requests if tr.request.syndrome.erasures]
+    assert erased, "the erasure scenario produced no heralded request"
+    # spec round-trips through its wire form and re-expands identically
+    respec = TraceSpec.from_dict(NOISE_FAMILY_SMOKE_TRACE.to_dict())
+    assert respec == NOISE_FAMILY_SMOKE_TRACE
+    replay = generate_trace(respec)
+    assert [tr.request for tr in replay.requests] == [
+        tr.request for tr in noise_trace.requests
+    ]
+
+
+def _round_trip(request: DecodeRequest) -> tuple[bool, DecodeRequest]:
+    """(took the binary layout?, decoded request) of one codec-2 frame."""
+    frame = {"kind": "request", "id": int(request.request_id), "request": request.to_dict()}
+    payload = encode_frame(frame, codec=CODEC_BINARY)[_LENGTH.size :]
+    decoded = decode_payload(payload)
+    return payload[:1] == b"\xb2", DecodeRequest.from_dict(decoded["request"])
+
+
+def test_erasure_requests_fall_back_to_json_frames(noise_trace):
+    erased = next(
+        tr.request for tr in noise_trace.requests if tr.request.syndrome.erasures
+    )
+    plain = next(
+        tr.request for tr in noise_trace.requests if not tr.request.syndrome.erasures
+    )
+    was_binary, round_tripped = _round_trip(erased)
+    assert not was_binary, "binary layout cannot carry heralded erasures"
+    assert round_tripped == erased  # erasures survive the JSON fallback
+
+    was_binary, round_tripped = _round_trip(plain)
+    assert was_binary, "erasure-free requests must keep the compact layout"
+    assert round_tripped == plain
+
+    # a mixed batch frame degrades to JSON as a whole and still round-trips
+    batch = {
+        "kind": "request-batch",
+        "id": 1,
+        "requests": [plain.to_dict(), erased.to_dict()],
+    }
+    payload = encode_frame(batch, codec=CODEC_BINARY)[_LENGTH.size :]
+    assert payload[:1] != b"\xb2"
+    decoded = [DecodeRequest.from_dict(r) for r in decode_payload(payload)["requests"]]
+    assert decoded == [plain, erased]
+
+
+def test_service_digest_is_worker_count_independent():
+    """Full in-process service replay, identity-verified, digest pinned."""
+    digests = {}
+    for workers in (1, 2):
+        result = ServiceLoadEngine(NOISE_FAMILY_SMOKE_TRACE, workers=workers).run(
+            verify_identity=True
+        )
+        assert result.completed == NOISE_FAMILY_SMOKE_TRACE.requests
+        digests[workers] = result.healthy_digest
+    assert digests[1] == digests[2]
+    assert digests[1] == "823bcfc2dd1438d6"

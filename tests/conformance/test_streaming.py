@@ -1,0 +1,103 @@
+"""Streamed-vs-batch conformance: round-pushed decoding is exactness-preserving.
+
+For each registered decoder, pushing rounds one at a time (with any heralded
+erasures announced at ``begin``) yields a ``DecodeOutcome`` whose matching
+weight and correction are identical to batch ``decode`` on the same syndrome,
+across every noise family of the seeded grid.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.api import available_decoders, get_decoder
+from repro.core import MicroBlossomDecoder
+from repro.graphs import (
+    Syndrome,
+    SyndromeSampler,
+    erasure_noise,
+    phenomenological_noise,
+    surface_code_decoding_graph,
+)
+from repro.stream import get_streaming_decoder
+
+from .harness import LUT_BASES, stream_decode
+
+
+@pytest.mark.parametrize("name", sorted(available_decoders()))
+def test_streamed_equals_batch_for_every_backend(conformance_case, name):
+    family, graph, syndromes, _ = conformance_case
+    batch = get_decoder(name, graph)
+    stream = get_streaming_decoder(name, graph)
+    for syndrome in syndromes:
+        label = (
+            f"{name} on {family} defects={syndrome.defects} "
+            f"erasures={syndrome.erasures}"
+        )
+        outcome, pushes = stream_decode(stream, graph, syndrome)
+        assert all(isinstance(push, Counter) for push in pushes)
+        batch_outcome = batch.decode_detailed(syndrome)
+        assert outcome.correction_edges(graph) == batch_outcome.correction_edges(
+            graph
+        ), label
+        if outcome.result is not None and batch_outcome.result is not None:
+            assert outcome.result.weight == batch_outcome.result.weight, label
+        assert outcome.defect_count == syndrome.defect_count
+
+
+@pytest.mark.parametrize("name", sorted(available_decoders()))
+def test_streaming_zero_defect_and_empty_round_fast_paths(name):
+    """Empty rounds cost (nearly) nothing and zero-defect streams are exact."""
+    graph = surface_code_decoding_graph(3, phenomenological_noise(0.04))
+    stream = get_streaming_decoder(name, graph)
+    batch = get_decoder(name, graph)
+
+    # an all-empty stream decodes to the empty matching / empty correction
+    empty = Syndrome(defects=())
+    outcome, _ = stream_decode(stream, graph, empty)
+    assert outcome.correction_edges(graph) == batch.decode_to_correction(empty)
+    assert outcome.correction_edges(graph) == set()
+    assert outcome.weight == 0
+
+    # a syndrome whose defects sit in the last round only: the leading empty
+    # rounds are pure loads, and the streamed outcome still matches batch
+    last_layer = graph.num_layers - 1
+    defect = next(
+        v for v in graph.vertices_in_layer(last_layer) if not graph.is_virtual(v)
+    )
+    syndrome = Syndrome(defects=(defect,))
+    outcome, pushes = stream_decode(stream, graph, syndrome)
+    assert outcome.correction_edges(graph) == batch.decode_to_correction(syndrome)
+    # every round before the defect's contributes no primal/dual work
+    for push in pushes[:-1]:
+        assert push.get("instr_find_obstacle", 0) == 0, name
+
+
+@pytest.mark.parametrize("base", LUT_BASES)
+def test_lut_streamed_equals_fallback_streamed(base):
+    """Streamed shots bypass the table and stay identical to the fallback."""
+    graph = surface_code_decoding_graph(3, phenomenological_noise(0.04))
+    sampler = SyndromeSampler(graph, seed=20260806)
+    syndromes = [s for s in sampler.sample_batch(20) if s.defects][:8]
+    assert syndromes
+    for syndrome in syndromes + [Syndrome(defects=())]:
+        expected, _ = stream_decode(get_streaming_decoder(base, graph), graph, syndrome)
+        got, _ = stream_decode(
+            get_streaming_decoder(f"lut+{base}", graph), graph, syndrome
+        )
+        assert got.correction_edges(graph) == expected.correction_edges(graph), base
+        assert got.weight == expected.weight, base
+
+
+def test_raw_micro_blossom_rejects_streamed_erasures():
+    """The bare core decoder streams on fixed edge weights: heralds at
+    ``begin`` must be refused loudly, pointing at the registry wrapper."""
+    graph = surface_code_decoding_graph(3, erasure_noise(0.01))
+    decoder = MicroBlossomDecoder(graph)
+    with pytest.raises(ValueError, match="erasure-aware"):
+        decoder.begin(rounds_hint=graph.num_layers, erasures=(0, 2))
+    # erasure-free begins stay available after the refusal
+    decoder.begin(rounds_hint=graph.num_layers)
+    decoder.finalize()

@@ -78,7 +78,18 @@ def test_pinned_session_and_outcome_cache_keys():
 
     class _Syndrome:
         defects = (1, 4)
+        erasures = ()
 
+    # erasure-free keys are byte-identical to pre-erasure releases
     assert outcome_cache_key(key.key(), _Syndrome()) == content_hash(
         {"session": key.key(), "defects": [1, 4]}
+    )
+
+    class _ErasedSyndrome:
+        defects = (1, 4)
+        erasures = (7,)
+
+    # heralded erasures join the key (same defects, different decode)
+    assert outcome_cache_key(key.key(), _ErasedSyndrome()) == content_hash(
+        {"session": key.key(), "defects": [1, 4], "erasures": [7]}
     )

@@ -337,6 +337,68 @@ class TestNetworkReplay:
         assert result.completed == inproc.completed
 
 
+class TestErasuresOverNetwork:
+    """Heralded erasures must survive both wire hops: client → server
+    (binary codec falls back to canonical JSON per frame) and server →
+    worker (the syndrome-slab handoff carries defects only, so the worker's
+    reconstruction must re-attach ``erasures`` from the wire form —
+    regression: dropping them decoded on the unerased graph, same pairs but
+    wrong weights)."""
+
+    def test_noise_family_trace_digest_matches_in_process(self):
+        from repro.service.trace import NOISE_FAMILY_SMOKE_TRACE
+
+        server = NetServer(
+            NET_CONFIG, processes=2, prewarm=prewarm_specs(NOISE_FAMILY_SMOKE_TRACE)
+        )
+        server.start()
+        try:
+            result = replay_network(NOISE_FAMILY_SMOKE_TRACE, server=server)
+        finally:
+            server.stop()
+        inproc = ServiceLoadEngine(NOISE_FAMILY_SMOKE_TRACE, config=NET_CONFIG).run()
+        assert result.error_responses == 0
+        assert result.healthy_digest == inproc.healthy_digest
+
+    def test_erased_syndrome_weight_matches_direct_decode(self):
+        from repro.api import DecoderSession
+        from repro.graphs import (
+            SyndromeSampler,
+            erasure_noise,
+            surface_code_decoding_graph,
+        )
+        from repro.service import DecodeRequest, SessionKey
+        from repro.service.request import STATUS_OK
+
+        spec = CodeSpec(distance=3, physical_error_rate=0.015, noise="erasure")
+        graph = surface_code_decoding_graph(3, erasure_noise(0.015))
+        shots = SyndromeSampler(graph, seed=42).sample_batch(300)
+        erased = [s for s in shots if s.erasures and s.defects][:6]
+        assert erased, "sampling rate too low to herald any erased defects"
+        session = DecoderSession(graph, "micro-blossom")
+        key = SessionKey(spec, "micro-blossom")
+        server = NetServer(NET_CONFIG, processes=2, prewarm=(spec,))
+        server.start()
+        try:
+            host, port = server.host, server.port
+            client = NetClient(host, port)
+            requests = [DecodeRequest(key, shot) for shot in erased]
+            # decode_many packs request-batch frames; the extra single
+            # submit covers the per-request slab path too.
+            responses = client.decode_many(requests) + [
+                client.decode(DecodeRequest(key, erased[0]))
+            ]
+            for request, response in zip(requests + [requests[0]], responses):
+                assert response.status == STATUS_OK, response.error
+                direct = session.decode(request.syndrome)
+                served = response.outcome.result
+                assert sorted(served.pairs) == sorted(direct.pairs)
+                assert served.weight == direct.weight
+            client.close()
+        finally:
+            server.stop()
+
+
 class TestConnectionRobustness:
     def test_client_survives_idle_gap_longer_than_handshake_timeout(self):
         """The handshake timeout must not tear down an idle steady-state

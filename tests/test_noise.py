@@ -5,12 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.graphs import (
+    NOISE_FAMILY_NAMES,
     NoiseModel,
     NoiseModelError,
     circuit_level_noise,
     code_capacity_noise,
+    correlated_burst_noise,
+    erasure_noise,
     noise_model_by_name,
     phenomenological_noise,
+    time_varying_noise,
 )
 
 
@@ -44,6 +48,86 @@ class TestFactories:
             circuit_level_noise(0.01, hook_fraction=1.5)
 
 
+class TestRicherFamilies:
+    def test_correlated_burst_defaults(self):
+        model = correlated_burst_noise(0.01)
+        assert model.name == "correlated_burst"
+        assert model.burst_multiplier == 4.0
+        assert 0.0 < model.burst_entry < 1.0
+        assert 0.0 < model.burst_exit <= 1.0
+        assert model.is_dynamic
+        assert model.is_three_dimensional
+
+    def test_erasure_default_rate_tracks_p(self):
+        assert erasure_noise(0.01).erasure == pytest.approx(0.02)
+        assert erasure_noise(0.2).erasure == pytest.approx(0.25)  # clamped
+        assert erasure_noise(0.01, erasure=0.1).erasure == 0.1
+        assert erasure_noise(0.01).is_dynamic
+
+    def test_time_varying_schedule_cycles(self):
+        model = time_varying_noise(0.01, schedule=(1.0, 2.0, 0.5))
+        assert model.round_multiplier(0) == 1.0
+        assert model.round_multiplier(1) == 2.0
+        assert model.round_multiplier(4) == 2.0  # cycles mod len(schedule)
+        assert not model.is_dynamic  # static reweighting, not per-shot state
+        assert model.minimum_probability == pytest.approx(0.005)
+
+    def test_time_varying_rejects_empty_schedule(self):
+        with pytest.raises(NoiseModelError):
+            time_varying_noise(0.01, schedule=())
+
+    def test_burst_peak_probability_capped(self):
+        # boosted peak 0.2 * 4 = 0.8 >= 0.5 must be refused up front
+        with pytest.raises(NoiseModelError):
+            correlated_burst_noise(0.2)
+
+    def test_schedule_peak_probability_capped(self):
+        with pytest.raises(NoiseModelError):
+            time_varying_noise(0.3, schedule=(1.0, 2.0))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("burst_multiplier", 0.5),
+            ("burst_entry", 1.0),
+            ("burst_exit", 0.0),
+            ("erasure", 0.5),
+            ("schedule", (0.0,)),
+        ],
+    )
+    def test_invalid_dynamic_fields_rejected(self, field, value):
+        with pytest.raises(NoiseModelError):
+            NoiseModel(
+                "custom",
+                spatial=0.01,
+                temporal=0.01,
+                diagonal=0.0,
+                boundary=0.01,
+                **{field: value},
+            )
+
+    def test_serialization_omits_defaults(self):
+        """Static families keep their historical wire form byte for byte."""
+        data = phenomenological_noise(0.01).to_dict()
+        assert set(data) == {"name", "spatial", "temporal", "diagonal", "boundary"}
+        rich = correlated_burst_noise(0.01).to_dict()
+        assert {"burst_multiplier", "burst_entry", "burst_exit"} <= set(rich)
+        assert "erasure" not in rich and "schedule" not in rich
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            correlated_burst_noise(0.01),
+            erasure_noise(0.01),
+            time_varying_noise(0.01, schedule=(1.0, 1.5, 0.5)),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_round_trip(self, model):
+        assert NoiseModel.from_dict(model.to_dict()) == model
+        assert NoiseModel.from_dict(model.to_dict()).model_hash() == model.model_hash()
+
+
 class TestValidation:
     def test_zero_spatial_probability_rejected(self):
         with pytest.raises(NoiseModelError):
@@ -69,14 +153,26 @@ class TestValidation:
 
 
 class TestByName:
-    @pytest.mark.parametrize(
-        "name", ["code_capacity", "phenomenological", "circuit_level"]
-    )
+    def test_family_name_list_is_pinned(self):
+        """The public family list is part of the wire/CLI contract."""
+        assert NOISE_FAMILY_NAMES == (
+            "circuit_level",
+            "code_capacity",
+            "correlated_burst",
+            "erasure",
+            "phenomenological",
+            "time_varying",
+        )
+
+    @pytest.mark.parametrize("name", NOISE_FAMILY_NAMES)
     def test_known_names(self, name):
         model = noise_model_by_name(name, 0.01)
         assert model.name == name
         assert model.spatial == 0.01
 
-    def test_unknown_name_rejected(self):
-        with pytest.raises(NoiseModelError):
+    def test_unknown_name_rejected_with_family_list(self):
+        with pytest.raises(NoiseModelError) as excinfo:
             noise_model_by_name("depolarizing", 0.01)
+        message = str(excinfo.value)
+        for name in NOISE_FAMILY_NAMES:
+            assert name in message

@@ -8,6 +8,8 @@ here property-style over a grid of graphs.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -15,9 +17,12 @@ from repro.graphs import (
     SyndromeSampler,
     circuit_level_noise,
     code_capacity_noise,
+    correlated_burst_noise,
+    erasure_noise,
     phenomenological_noise,
     repetition_code_decoding_graph,
     surface_code_decoding_graph,
+    time_varying_noise,
 )
 
 GRAPHS = {
@@ -42,6 +47,23 @@ GRAPHS = {
     "repetition_d5_pheno": lambda: repetition_code_decoding_graph(
         5, phenomenological_noise(0.05)
     ),
+    "correlated_burst_d3": lambda: surface_code_decoding_graph(
+        3, correlated_burst_noise(0.02)
+    ),
+    "correlated_burst_d3_r5": lambda: surface_code_decoding_graph(
+        3, correlated_burst_noise(0.01, burst_multiplier=6.0), rounds=5
+    ),
+    "erasure_d3": lambda: surface_code_decoding_graph(3, erasure_noise(0.02)),
+    "erasure_d5_r2": lambda: surface_code_decoding_graph(
+        5, erasure_noise(0.01, erasure=0.05), rounds=2
+    ),
+    "time_varying_d3": lambda: surface_code_decoding_graph(
+        3, time_varying_noise(0.02)
+    ),
+    # burst chain + heralded erasures at once: the full dynamic word layout
+    "burst_erasure_d3": lambda: surface_code_decoding_graph(
+        3, dataclasses.replace(correlated_burst_noise(0.01), erasure=0.03)
+    ),
 }
 
 
@@ -49,6 +71,7 @@ def _assert_same_shots(first, second):
     assert [s.defects for s in first] == [s.defects for s in second]
     assert [s.error_edges for s in first] == [s.error_edges for s in second]
     assert [s.logical_flip for s in first] == [s.logical_flip for s in second]
+    assert [s.erasures for s in first] == [s.erasures for s in second]
 
 
 @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
@@ -64,7 +87,9 @@ def test_batch_equals_sequential(graph_name, count, seed):
     assert sequential == batch  # full dataclass equality, field by field
 
 
-@pytest.mark.parametrize("graph_name", ["circuit_level_d3", "code_capacity_d5"])
+@pytest.mark.parametrize(
+    "graph_name", ["circuit_level_d3", "code_capacity_d5", "erasure_d3", "burst_erasure_d3"]
+)
 def test_batch_leaves_rng_in_scalar_state(graph_name):
     graph = GRAPHS[graph_name]()
     scalar = SyndromeSampler(graph, seed=7)
@@ -79,11 +104,12 @@ def test_batch_leaves_rng_in_scalar_state(graph_name):
     )
 
 
-def test_batch_is_chunked_transparently(monkeypatch):
-    graph = GRAPHS["circuit_level_d3"]()
+@pytest.mark.parametrize("graph_name", ["circuit_level_d3", "burst_erasure_d3"])
+def test_batch_is_chunked_transparently(graph_name, monkeypatch):
+    graph = GRAPHS[graph_name]()
     monkeypatch.setattr(SyndromeSampler, "_CHUNK_WORDS", 64)
     chunked_sampler = SyndromeSampler(graph, seed=3)
-    assert 64 // chunked_sampler._words_per_shot < 25  # really multiple chunks
+    assert 64 // chunked_sampler._shot_words < 25  # really multiple chunks
     chunked = chunked_sampler.sample_batch(25)
     monkeypatch.undo()
     _assert_same_shots(SyndromeSampler(graph, seed=3).sample_batch(25), chunked)
@@ -133,3 +159,59 @@ def test_batch_flip_statistics_match_error_model():
     mean_flips = sum(len(s.error_edges) for s in shots) / len(shots)
     expected = sum(edge.probability for edge in graph.edges)
     assert mean_flips == pytest.approx(expected, rel=0.1)
+
+
+def test_static_families_carry_no_erasures():
+    shots = SyndromeSampler(GRAPHS["circuit_level_d3"](), seed=4).sample_batch(16)
+    assert all(s.erasures == () for s in shots)
+
+
+def test_erasure_statistics_match_heralding_rate():
+    graph = GRAPHS["erasure_d3"]()
+    model = graph.noise_model
+    shots = SyndromeSampler(graph, seed=13).sample_batch(3000)
+    mean_erased = sum(len(s.erasures) for s in shots) / len(shots)
+    assert mean_erased == pytest.approx(graph.num_edges * model.erasure, rel=0.1)
+    # erased edges flip with probability 1/2: flips should sit well above the
+    # i.i.d. expectation of the same base probabilities
+    base = sum(edge.probability for edge in graph.edges)
+    mean_flips = sum(len(s.error_edges) for s in shots) / len(shots)
+    assert mean_flips > base * 1.5
+
+
+def test_burst_statistics_exceed_quiet_rate():
+    """The Markov chain visits its boosted state often enough to show up."""
+    graph = GRAPHS["correlated_burst_d3"]()
+    quiet = surface_code_decoding_graph(
+        3, dataclasses.replace(graph.noise_model, burst_entry=0.0)
+    )
+    burst_shots = SyndromeSampler(graph, seed=21).sample_batch(3000)
+    quiet_shots = SyndromeSampler(quiet, seed=21).sample_batch(3000)
+    burst_mean = sum(len(s.error_edges) for s in burst_shots) / len(burst_shots)
+    quiet_mean = sum(len(s.error_edges) for s in quiet_shots) / len(quiet_shots)
+    assert burst_mean > quiet_mean * 1.2
+
+
+def test_time_varying_layers_follow_schedule():
+    """Per-layer flip rates track the schedule's multipliers statistically."""
+    graph = GRAPHS["time_varying_d3"]()
+    schedule = graph.noise_model.schedule
+    assert len(schedule) >= 2
+    shots = SyndromeSampler(graph, seed=31).sample_batch(4000)
+    spatial = [e for e in graph.edges if e.kind == "spatial"]
+    by_layer = {}
+    for edge in spatial:
+        layer = max(graph.vertices[edge.u].layer, graph.vertices[edge.v].layer)
+        by_layer.setdefault(layer, []).append(edge.index)
+    counts = {layer: 0 for layer in by_layer}
+    for shot in shots:
+        flipped = set(shot.error_edges)
+        for layer, indices in by_layer.items():
+            counts[layer] += sum(1 for i in indices if i in flipped)
+    rates = {
+        layer: counts[layer] / (len(shots) * len(by_layer[layer]))
+        for layer in by_layer
+    }
+    for layer, rate in rates.items():
+        expected = graph.noise_model.spatial * graph.noise_model.round_multiplier(layer)
+        assert rate == pytest.approx(expected, rel=0.2), layer

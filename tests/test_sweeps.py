@@ -242,7 +242,14 @@ class TestStoreRoundTripProperty:
             SweepPoint,
             distance=st.sampled_from([3, 5, 7, 9, 11]),
             noise=st.sampled_from(
-                ["circuit_level", "phenomenological", "code_capacity"]
+                [
+                    "circuit_level",
+                    "phenomenological",
+                    "code_capacity",
+                    "correlated_burst",
+                    "erasure",
+                    "time_varying",
+                ]
             ),
             physical_error_rate=st.floats(
                 min_value=1e-9, max_value=0.5, allow_nan=False
@@ -277,11 +284,12 @@ class TestStoreRoundTripProperty:
             errors=st.integers(min_value=0, max_value=10**7),
             decoded=st.integers(min_value=0, max_value=10**7),
             defects=st.integers(min_value=0, max_value=10**9),
+            erased=st.integers(min_value=0, max_value=10**9),
             stopped=st.booleans(),
             elapsed=st.floats(min_value=0, max_value=1e6, allow_nan=False),
         )
         @hypothesis.settings(max_examples=60, deadline=None)
-        def round_trip(point, summary, errors, decoded, defects, stopped, elapsed):
+        def round_trip(point, summary, errors, decoded, defects, erased, stopped, elapsed):
             result = PointResult(
                 point=point,
                 shots=point.shots,
@@ -290,6 +298,7 @@ class TestStoreRoundTripProperty:
                 defects=defects,
                 stopped_early=stopped,
                 latency=summary,
+                erased=erased,
                 elapsed_seconds=elapsed,
             )
             store = ResultStore(None)  # in-memory, still JSON round-trips
@@ -303,6 +312,7 @@ class TestStoreRoundTripProperty:
             assert loaded.defects == result.defects
             assert loaded.stopped_early == result.stopped_early
             assert loaded.latency == result.latency
+            assert loaded.erased == result.erased
             assert loaded.elapsed_seconds == result.elapsed_seconds
             assert loaded.cached
 
@@ -541,3 +551,101 @@ def test_latency_summary_of_empty_histogram():
     summary = LatencySummary.from_histogram(LatencyHistogram())
     assert summary.count == 0
     assert summary.mean_seconds == 0.0
+
+
+class TestNoiseFamilyAxis:
+    """Sweeps over the richer noise families: resume stability, erased
+    bookkeeping, and ``lut+`` twin points under burst noise."""
+
+    @staticmethod
+    def _family_spec(**overrides) -> SweepSpec:
+        params = dict(
+            name="noise-families",
+            distances=(3,),
+            physical_error_rates=(0.01,),
+            decoders=("union-find",),
+            shots=48,
+            seed=11,
+            shard_size=16,
+            noise_models=("correlated_burst", "erasure", "time_varying"),
+        )
+        params.update(overrides)
+        return small_spec(**params)
+
+    def test_interrupted_resume_is_bit_identical(self, tmp_path):
+        spec = self._family_spec()
+        uninterrupted = tmp_path / "uninterrupted.jsonl"
+        run_sweep(spec, ResultStore(uninterrupted), clock=fake_clock())
+
+        interrupted = tmp_path / "interrupted.jsonl"
+        seen: list = []
+
+        def abort_after_one(point, result) -> None:
+            seen.append(point)
+            if len(seen) == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                spec,
+                ResultStore(interrupted),
+                clock=fake_clock(),
+                progress=abort_after_one,
+            )
+        run_sweep(spec, ResultStore(interrupted), clock=fake_clock())
+        assert interrupted.read_bytes() == uninterrupted.read_bytes()
+
+    def test_point_keys_carry_the_family(self):
+        spec = self._family_spec()
+        families = {point.noise for point in spec.expand()}
+        assert families == {"correlated_burst", "erasure", "time_varying"}
+        for point in spec.expand():
+            assert f"/noise={point.noise}/" in point.key
+
+    def test_erased_column_round_trips_only_for_erasure_points(self, tmp_path):
+        spec = self._family_spec(shots=64)
+        store = ResultStore(tmp_path / "store.jsonl")
+        run = run_sweep(spec, store)
+        by_family = {result.point.noise: result for result in run.results}
+        assert by_family["erasure"].erased > 0
+        assert by_family["correlated_burst"].erased == 0
+        assert by_family["time_varying"].erased == 0
+        # the store's JSON lines only mention "erased" on the erasure point,
+        # so pre-existing stores (and their fingerprints) stay byte-stable
+        lines = (tmp_path / "store.jsonl").read_text().splitlines()
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") != "point":
+                continue
+            expects_erased = "/noise=erasure/" in record["key"]
+            assert ("erased" in record["result"]) == expects_erased
+        # and cached reads restore the tally exactly
+        rerun = run_sweep(spec, store)
+        assert rerun.cached == len(spec.expand())
+        recached = {r.point.noise: r for r in rerun.results}
+        assert recached["erasure"].erased == by_family["erasure"].erased
+
+    def test_lut_twin_points_match_under_burst_noise(self):
+        """``lut+union-find`` and ``union-find`` on the *same* shot stream
+        (identical explicit seeds) must produce identical statistics under
+        correlated bursts — the LUT layer is invisible to the sweep numbers."""
+        from repro.sweeps.runner import run_point
+
+        def twin(decoder: str) -> SweepPoint:
+            return SweepPoint(
+                distance=3,
+                noise="correlated_burst",
+                physical_error_rate=0.01,
+                decoder=decoder,
+                shots=64,
+                seed=77,
+                shard_size=16,
+            )
+
+        base = run_point(twin("union-find"))
+        lut = run_point(twin("lut+union-find"))
+        assert lut.errors == base.errors
+        assert lut.defects == base.defects
+        assert lut.shots == base.shots
+        assert lut.lut is not None and base.lut is None
+        assert lut.lut.hits + lut.lut.misses + lut.lut.zero_defect_hits == lut.shots

@@ -50,9 +50,13 @@ DOC_FILES = (
 
 #: Modules whose doctests form the documented public API surface.
 DOCTEST_MODULES = (
+    "repro.graphs.noise",
+    "repro.graphs.syndrome",
     "repro.api.hashing",
     "repro.api.config",
+    "repro.api.erasure",
     "repro.api.registry",
+    "repro.lut.outcome_cache",
     "repro.api.outcome",
     "repro.api.protocol",
     "repro.api.session",
